@@ -1,0 +1,78 @@
+// Ablation: how fresh does the closed loop have to be? We throttle
+// schedule_and_sync() to a minimum interval and sweep it from "every loop
+// iteration" (the paper's design) to effectively-static steering (the
+// sk_lookup / Facebook-release style of §8: a steering table that does not
+// react to runtime load). Workload includes wedges, so stale bitmaps keep
+// routing new connections into hung workers.
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+using namespace hermes;
+using namespace hermes::bench;
+
+namespace {
+
+struct Row {
+  double avg_ms;
+  double p99_ms;
+  uint64_t syncs;
+};
+
+Row run(SimTime interval, uint64_t seed) {
+  sim::LbDevice::Config cfg;
+  cfg.mode = netsim::DispatchMode::HermesMode;
+  cfg.num_workers = 8;
+  cfg.num_ports = 32;
+  cfg.seed = seed;
+  cfg.worker.min_sync_interval = interval;
+  sim::LbDevice lb(cfg);
+
+  sim::TrafficPattern p = sim::case_pattern(4, cfg.num_workers, 1.5);
+  const SimTime end = SimTime::seconds(10);
+  lb.start_pattern(p, 0, cfg.num_ports, end);
+  lb.eq().run_until(SimTime::seconds(2));
+  lb.take_window_latency();
+  lb.eq().run_until(end + SimTime::seconds(2));
+  auto window = lb.take_window_latency();
+  return Row{window.mean() / 1e6, static_cast<double>(window.p99()) / 1e6,
+             lb.hermes()->counters().syncs};
+}
+
+}  // namespace
+
+int main() {
+  header("Ablation: decision-sync freshness (closed loop -> static steering)");
+  std::printf("%-16s %10s %10s %14s\n", "min sync gap", "Avg (ms)",
+              "P99 (ms)", "total syncs");
+
+  struct Cfg {
+    const char* name;
+    SimTime interval;
+  };
+  const Cfg cfgs[] = {
+      {"every loop", SimTime::zero()},
+      {"1 ms", SimTime::millis(1)},
+      {"10 ms", SimTime::millis(10)},
+      {"100 ms", SimTime::millis(100)},
+      {"1 s", SimTime::seconds(1)},
+      {"static (inf)", SimTime::seconds(3600)},
+  };
+  for (const auto& c : cfgs) {
+    double avg = 0, p99 = 0;
+    uint64_t syncs = 0;
+    for (uint64_t seed : {21ull, 22ull, 23ull}) {
+      const Row r = run(c.interval, seed);
+      avg += r.avg_ms / 3;
+      p99 += r.p99_ms / 3;
+      syncs += r.syncs / 3;
+    }
+    std::printf("%-16s %10.2f %10.2f %14lu\n", c.name, avg, p99,
+                (unsigned long)syncs);
+  }
+  std::printf("\nExpected: latency degrades monotonically as the loop"
+              " staleness grows;\nthe static end of the sweep behaves like"
+              " hash steering that cannot avoid\nwedged workers — the"
+              " paper's core 'closed loop beats static policy' claim.\n");
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Ablation: SYN-retransmission amplification under backlog pressure.
+// With a realistic (small) per-socket backlog and TCP clients that
+// retransmit dropped SYNs, reuseport's habit of hashing new connections
+// onto wedged workers turns overload into a retry storm: drops beget
+// retransmits beget more drops on the same hot sockets. Hermes routes
+// around the wedged workers, so the same offered load produces almost no
+// drops at all — the paper's catastrophic case-2/4 reuseport collapse
+// (thr 0.27 kRPS) is this mechanism at production scale.
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+using namespace hermes;
+using namespace hermes::bench;
+
+namespace {
+
+struct Row {
+  uint64_t drops;
+  uint64_t retransmits;
+  double p99_ms;
+  double thr_krps;
+};
+
+Row run(netsim::DispatchMode mode, int retries, uint64_t seed) {
+  sim::LbDevice::Config cfg;
+  cfg.mode = mode;
+  cfg.num_workers = 8;
+  cfg.num_ports = 4;
+  cfg.seed = seed;
+  cfg.backlog = 16;  // realistic small per-socket backlog
+  cfg.syn_retries = retries;
+  cfg.syn_retry_timeout = SimTime::millis(250);
+  sim::LbDevice lb(cfg);
+
+  // Case-2-flavoured load with frequent wedges.
+  sim::TrafficPattern p = sim::case_pattern(2, cfg.num_workers, 1.2);
+  p.poison_fraction = 0.002;
+  p.poison_cost_us = sim::DistSpec::uniform(1'000'000, 3'000'000);
+  const SimTime end = SimTime::seconds(10);
+  lb.start_pattern(p, 0, cfg.num_ports, end);
+  lb.eq().run_until(SimTime::seconds(2));
+  lb.take_window_latency();
+  const uint64_t before = lb.totals().requests_completed;
+  lb.eq().run_until(end);
+  const uint64_t done = lb.totals().requests_completed - before;
+  lb.eq().run_until(end + SimTime::seconds(2));
+  auto window = lb.take_window_latency();
+
+  return Row{lb.totals().conns_dropped, lb.totals().syn_retransmits,
+             static_cast<double>(window.p99()) / 1e6,
+             static_cast<double>(done) / 8.0 / 1000.0};
+}
+
+}  // namespace
+
+int main() {
+  header("Ablation: SYN retry amplification (small backlogs, wedge-heavy load)");
+  std::printf("%-18s %9s | %10s %12s %10s %11s\n", "mode", "retries",
+              "drops", "retransmits", "P99 (ms)", "Thr (kRPS)");
+  for (const auto mode :
+       {netsim::DispatchMode::Reuseport, netsim::DispatchMode::HermesMode}) {
+    for (int retries : {0, 3}) {
+      const Row r = run(mode, retries, 77);
+      std::printf("%-18s %9d | %10lu %12lu %10.1f %11.2f\n",
+                  netsim::to_string(mode), retries,
+                  (unsigned long)r.drops, (unsigned long)r.retransmits,
+                  r.p99_ms, r.thr_krps);
+    }
+  }
+  std::printf("\nExpected: reuseport drops pile up on wedged workers'"
+              " sockets and retries\namplify them; Hermes's coarse filter"
+              " keeps new SYNs off those sockets, so\ndrops (and the whole"
+              " retry storm) largely vanish at the same offered load.\n");
+  return 0;
+}

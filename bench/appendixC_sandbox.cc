@@ -1,0 +1,113 @@
+// Appendix C, exception case 2: "all workers hang" scenarios. An abusive
+// tenant (CC-attack-like: requests that wedge cores) degrades every tenant
+// sharing its devices. Hermes's operational response: detect the pattern
+// and migrate the tenant to a sandbox device — the victims recover while
+// the attacker only hurts itself. Victim latency is tracked per tenant via
+// the LbDevice request observer, so the abuser's own (self-inflicted)
+// latencies never pollute the victim metric.
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "sim/multi_lb.h"
+
+using namespace hermes;
+using namespace hermes::bench;
+
+namespace {
+
+constexpr TenantId kAbuser = 0;
+constexpr int kVictims = 7;
+
+struct PhaseStats {
+  double victim_avg_ms;
+  double victim_p99_ms;
+};
+
+PhaseStats run_phase(sim::MultiLbCluster& cluster, bool attack, SimTime dur) {
+  sim::Histogram victims{5};
+  for (size_t d = 0; d < cluster.size(); ++d) {
+    cluster.device(d).set_request_done_fn(
+        [&victims](TenantId tenant, SimTime latency) {
+          if (tenant != kAbuser) victims.record(latency);
+        });
+  }
+
+  const SimTime end = cluster.now() + dur;
+  while (cluster.now() < end) {
+    for (int v = 1; v <= kVictims; ++v) {
+      sim::LbDevice::ConnPlan plan;
+      plan.tenant = static_cast<TenantId>(v);
+      plan.remaining = 2;
+      plan.cost_us = sim::DistSpec::constant(150);
+      plan.gap_us = sim::DistSpec::constant(10'000);
+      cluster.open_connection(static_cast<TenantId>(v), plan);
+    }
+    if (attack) {
+      for (int k = 0; k < 3; ++k) {
+        sim::LbDevice::ConnPlan bad;
+        bad.tenant = kAbuser;
+        bad.remaining = 1;
+        bad.cost_us = sim::DistSpec::uniform(30'000, 120'000);
+        cluster.open_connection(kAbuser, bad);
+      }
+    }
+    cluster.run_until(cluster.now() + SimTime::millis(10));
+  }
+  // Let in-flight work land before switching phases.
+  cluster.run_until(cluster.now() + SimTime::millis(500));
+  for (size_t d = 0; d < cluster.size(); ++d) {
+    cluster.device(d).set_request_done_fn(nullptr);
+  }
+  return PhaseStats{victims.mean() / 1e6,
+                    static_cast<double>(victims.p99()) / 1e6};
+}
+
+}  // namespace
+
+int main() {
+  header("Appendix C (case 2): abusive-tenant sandbox isolation");
+
+  std::vector<sim::MultiLbCluster::DeviceSpec> specs = {
+      {netsim::DispatchMode::HermesMode, 41},
+      {netsim::DispatchMode::HermesMode, 42},
+      {netsim::DispatchMode::HermesMode, 43},  // the sandbox
+  };
+  sim::LbDevice::Config base;
+  base.num_workers = 8;
+  base.num_ports = 16;
+  base.seed = 6;
+  sim::MultiLbCluster cluster(specs, base);
+  cluster.start_draining(2);  // sandbox is out of the normal rotation
+
+  std::printf("%-34s %14s %14s\n", "phase", "victims avg", "victims P99");
+
+  const auto healthy = run_phase(cluster, /*attack=*/false, SimTime::seconds(3));
+  std::printf("%-34s %11.2f ms %11.2f ms\n", "1. healthy (no attack)",
+              healthy.victim_avg_ms, healthy.victim_p99_ms);
+
+  const auto under_attack =
+      run_phase(cluster, /*attack=*/true, SimTime::seconds(3));
+  std::printf("%-34s %11.2f ms %11.2f ms\n", "2. attack on shared devices",
+              under_attack.victim_avg_ms, under_attack.victim_p99_ms);
+
+  // Detection + migration: pin the abuser to the sandbox; shed its
+  // leftover connections from the shared devices.
+  cluster.migrate_tenant(kAbuser, 2);
+  cluster.device(0).close_fraction(1.0);
+  cluster.device(1).close_fraction(1.0);
+  // The shared devices drain the abuser's already-queued work ("once the
+  // migration is complete, CPU usage on the original workers returns to
+  // normal" — it takes a moment).
+  cluster.run_until(cluster.now() + SimTime::seconds(4));
+  const auto sandboxed =
+      run_phase(cluster, /*attack=*/true, SimTime::seconds(3));
+  std::printf("%-34s %11.2f ms %11.2f ms\n",
+              "3. attack continues, sandboxed", sandboxed.victim_avg_ms,
+              sandboxed.victim_p99_ms);
+
+  std::printf("\nShape: the attack inflates the victims' tail on shared"
+              " devices; after the\nsandbox migration the victims return"
+              " to baseline even though the attack\ncontinues — physical"
+              " isolation, as Appendix C prescribes.\n");
+  return 0;
+}

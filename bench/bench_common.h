@@ -1,0 +1,83 @@
+// Shared plumbing for the reproduction benches: table printing and
+// standard simulation drivers. Every bench prints the same rows/series the
+// paper reports, plus a short "paper says / we measure" note where the
+// comparison is meaningful.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "sim/lb.h"
+#include "sim/workload.h"
+
+namespace hermes::bench {
+
+inline void header(const std::string& title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("================================================================\n");
+}
+
+inline void subheader(const std::string& title) {
+  std::printf("\n--- %s ---\n", title.c_str());
+}
+
+// Result of one (mode, case, load) simulation cell for Table 3.
+struct CellResult {
+  double avg_ms = 0;
+  double p99_ms = 0;
+  double thr_krps = 0;
+  uint64_t drops = 0;
+};
+
+struct RunSpec {
+  netsim::DispatchMode mode = netsim::DispatchMode::HermesMode;
+  int case_id = 1;
+  double load = 1.0;
+  uint32_t workers = 8;
+  uint32_t ports = 128;  // multi-tenant: exclusive pays O(#ports) dispatch
+  SimTime warmup = SimTime::seconds(2);
+  SimTime duration = SimTime::seconds(6);
+  uint64_t seed = 1;
+};
+
+// Run one Table-3 style cell: warm up, reset metrics, measure.
+inline CellResult run_cell(const RunSpec& spec) {
+  sim::LbDevice::Config cfg;
+  cfg.mode = spec.mode;
+  cfg.num_workers = spec.workers;
+  cfg.num_ports = spec.ports;
+  cfg.seed = spec.seed;
+  sim::LbDevice lb(cfg);
+
+  const sim::TrafficPattern p =
+      sim::case_pattern(spec.case_id, spec.workers, spec.load);
+  const SimTime end = spec.warmup + spec.duration;
+  lb.start_pattern(p, 0, cfg.num_ports, end);
+  lb.eq().run_until(spec.warmup);
+  lb.take_window_latency();  // drop warmup samples
+  const uint64_t completed_before = lb.totals().requests_completed;
+  const uint64_t drops_before = lb.totals().conns_dropped;
+
+  lb.eq().run_until(end);
+  const uint64_t completed_in_window =
+      lb.totals().requests_completed - completed_before;
+  // Drain in-flight work briefly so tail latencies are observed.
+  lb.eq().run_until(end + SimTime::seconds(2));
+
+  auto window = lb.take_window_latency();
+  CellResult res;
+  res.avg_ms = window.mean() / 1e6;
+  res.p99_ms = static_cast<double>(window.p99()) / 1e6;
+  res.thr_krps = static_cast<double>(completed_in_window) /
+                 spec.duration.s_f() / 1000.0;
+  res.drops = lb.totals().conns_dropped - drops_before;
+  return res;
+}
+
+inline const char* mode_name(netsim::DispatchMode m) {
+  return netsim::to_string(m);
+}
+
+}  // namespace hermes::bench

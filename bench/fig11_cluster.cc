@@ -1,0 +1,112 @@
+// Fig. 11 (cluster edition): the canary release simulated end-to-end on a
+// real multi-device cluster instead of the analytic drain model. Two
+// old-version (epoll exclusive) devices serve long-lived, surge-prone
+// tenants; at the release day two Hermes devices enter the L4 rotation
+// and the old ones drain as client connections churn out. Per-core probes
+// track delayed counts per "day" on whichever devices still hold traffic.
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "sim/multi_lb.h"
+
+using namespace hermes;
+using namespace hermes::bench;
+
+namespace {
+constexpr SimTime kDay = SimTime::seconds(4);  // one compressed "day"
+constexpr int kReleaseDay = 2;
+constexpr double kDailyChurn = 0.55;  // fraction of old conns closing daily
+}  // namespace
+
+int main() {
+  header("Fig. 11 (cluster): canary release across 4 LB devices, simulated");
+
+  std::vector<sim::MultiLbCluster::DeviceSpec> specs = {
+      {netsim::DispatchMode::EpollExclusive, 11},
+      {netsim::DispatchMode::EpollExclusive, 12},
+      {netsim::DispatchMode::HermesMode, 13},
+      {netsim::DispatchMode::HermesMode, 14},
+  };
+  sim::LbDevice::Config base;
+  base.num_workers = 8;
+  base.num_ports = 16;
+  base.seed = 3;
+  sim::MultiLbCluster cluster(specs, base);
+  cluster.start_draining(2);  // Hermes devices not yet released
+  cluster.start_draining(3);
+
+  sim::Rng rng(99);
+  sim::LbDevice::ConnPlan longlived;
+  longlived.remaining = 1 << 20;  // effectively immortal until churned
+  longlived.cost_us = sim::DistSpec::constant(80);
+  longlived.gap_us = sim::DistSpec::exponential(2'000'000);
+
+  std::printf("%-5s %8s %9s %13s %15s %15s\n", "day", "probes", "delayed",
+              "delayed rate", "old-dev conns", "new-dev conns");
+  uint64_t prev_delayed[4] = {};
+  for (int day = 0; day < 8; ++day) {
+    if (day == kReleaseDay) {
+      cluster.stop_draining(2);
+      cluster.stop_draining(3);
+      cluster.start_draining(0);
+      cluster.start_draining(1);
+    }
+
+    uint64_t probes = 0, delayed = 0;
+    for (int quarter = 0; quarter < 4; ++quarter) {
+      // New long-lived connections trickle in through the L4 front door
+      // (spread over the quarter: sequential arrivals are what the LIFO
+      // wakeup concentrates).
+      for (int step = 0; step < 10; ++step) {
+        for (int i = 0; i < 10; ++i) {
+          cluster.open_connection(static_cast<TenantId>(i % 8), longlived);
+        }
+        cluster.run_until(cluster.now() + kDay / 80);
+      }
+      cluster.run_until(cluster.now() + kDay / 40);
+      // Synchronized surge (the lag-effect trigger) on every device.
+      for (size_t d = 0; d < cluster.size(); ++d) {
+        cluster.device(d).burst_all_connections(
+            sim::DistSpec::lognormal(400, 0.3), 3);
+      }
+      // Probe every device that still carries connections, per core.
+      for (size_t d = 0; d < cluster.size(); ++d) {
+        auto& lb = cluster.device(d);
+        if (lb.live_connections() == 0) continue;
+        for (int i = 0; i < 50; ++i) {
+          lb.inject_core_probe(
+              static_cast<WorkerId>(rng.next_below(lb.num_workers())));
+          ++probes;
+        }
+      }
+      cluster.run_until(cluster.now() + kDay / 8);
+    }
+
+    for (size_t d = 0; d < cluster.size(); ++d) {
+      delayed += cluster.device(d).delayed_probes() - prev_delayed[d];
+      prev_delayed[d] = cluster.device(d).delayed_probes();
+    }
+    const uint64_t old_conns = cluster.device(0).live_connections() +
+                               cluster.device(1).live_connections();
+    const uint64_t new_conns = cluster.device(2).live_connections() +
+                               cluster.device(3).live_connections();
+    std::printf("%-5d %8lu %9lu %12.1f%% %15lu %15lu%s\n", day,
+                (unsigned long)probes, (unsigned long)delayed,
+                100.0 * static_cast<double>(delayed) /
+                    std::max<uint64_t>(1, probes),
+                (unsigned long)old_conns, (unsigned long)new_conns,
+                day == kReleaseDay ? "   <- Hermes release" : "");
+
+    // Daily client churn on every device; draining devices get no
+    // replacements, so their population decays (the Fig. 11 tail).
+    for (size_t d = 0; d < cluster.size(); ++d) {
+      cluster.device(d).close_fraction(kDailyChurn);
+    }
+  }
+  std::printf("\nShape: pre-release, surges on the exclusive devices delay"
+              " a steady share\nof probes; after the release the Hermes"
+              " devices absorb the same surges\nwith ~zero delays, and the"
+              " residual old-device delays decay with the\nconnection churn"
+              " — Fig. 11's tail, from an actual cluster run.\n");
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Fig. 13: standard deviation of per-worker CPU utilization and per-worker
+// connection counts under production-like multi-tenant traffic, for the
+// three epoll modes. Paper: CPU SD 26% / 2.7% / 2.7% and conn SD
+// 3200 / 50 / 20 for exclusive / reuseport / Hermes.
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+using namespace hermes;
+using namespace hermes::bench;
+
+namespace {
+
+struct SdResult {
+  double cpu_sd_pct = 0;
+  double conn_sd = 0;
+  double cpu_avg_pct = 0;
+  double conns_avg = 0;
+};
+
+SdResult run_mode(netsim::DispatchMode mode) {
+  sim::LbDevice::Config cfg;
+  cfg.mode = mode;
+  cfg.num_workers = 8;
+  cfg.num_ports = 32;
+  cfg.seed = 17;
+  sim::LbDevice lb(cfg);
+
+  const auto mixes = sim::paper_region_mixes();
+  const auto tm = sim::TenantModel::from_mix(mixes[0], 32, 1.3);
+  const SimTime end = SimTime::seconds(20);
+  lb.start_tenant_mix(tm, 250, cfg.num_workers, 1.0, end);
+  lb.eq().run_until(SimTime::seconds(4));  // warmup
+  lb.sample_now();
+  lb.start_sampling(SimTime::seconds(1), end);
+  lb.eq().run_until(end);
+
+  SdResult r;
+  double n = 0;
+  for (const auto& s : lb.samples()) {
+    if (s.at <= SimTime::seconds(4)) continue;
+    r.cpu_sd_pct += s.cpu_sd * 100;
+    r.conn_sd += s.conn_sd;
+    r.cpu_avg_pct += s.cpu_avg * 100;
+    n += 1;
+  }
+  r.cpu_sd_pct /= n;
+  r.conn_sd /= n;
+  r.cpu_avg_pct /= n;
+  double conns = 0;
+  for (WorkerId w = 0; w < lb.num_workers(); ++w) {
+    conns += static_cast<double>(lb.worker(w).live_connections());
+  }
+  r.conns_avg = conns / lb.num_workers();
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  header("Fig. 13: SD of per-worker CPU%% and #connections per mode");
+  std::printf("%-18s %12s %12s %12s %12s\n", "mode", "CPU SD(pp)",
+              "conn SD", "CPU avg(%)", "conns avg");
+  const netsim::DispatchMode modes[] = {
+      netsim::DispatchMode::EpollExclusive,
+      netsim::DispatchMode::Reuseport,
+      netsim::DispatchMode::HermesMode,
+  };
+  double sd[3][2];
+  int i = 0;
+  for (auto m : modes) {
+    const auto r = run_mode(m);
+    sd[i][0] = r.cpu_sd_pct;
+    sd[i][1] = r.conn_sd;
+    ++i;
+    std::printf("%-18s %12.2f %12.1f %12.1f %12.1f\n", mode_name(m),
+                r.cpu_sd_pct, r.conn_sd, r.cpu_avg_pct, r.conns_avg);
+  }
+  std::printf("\npaper:            CPU SD 26 / 2.7 / 2.7 pp; conn SD"
+              " 3200 / 50 / 20\nshape checks: exclusive CPU SD >> others"
+              " (%s), Hermes conn SD < reuseport (%s)\n",
+              sd[0][0] > 3 * sd[1][0] && sd[0][0] > 3 * sd[2][0] ? "OK"
+                                                                 : "MISS",
+              sd[2][1] < sd[1][1] ? "OK" : "MISS");
+  return 0;
+}

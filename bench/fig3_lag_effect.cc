@@ -1,0 +1,76 @@
+// Fig. 3: the "lag effect" of connection imbalance — a large population of
+// long-lived connections is established (evenly vs unevenly depending on
+// the epoll mode), then a synchronized traffic surge hits all of them at
+// once. Under epoll exclusive the connections are concentrated on a few
+// workers, so the surge overloads those cores and P999 latency explodes
+// (paper: 200-300 us normal -> 30 ms P999, "causing customer complaints").
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+using namespace hermes;
+using namespace hermes::bench;
+
+namespace {
+
+void run_mode(netsim::DispatchMode mode) {
+  sim::LbDevice::Config cfg;
+  cfg.mode = mode;
+  cfg.num_workers = 8;
+  cfg.num_ports = 32;
+  cfg.seed = 7;
+  sim::LbDevice lb(cfg);
+
+  // Phase 1 (0-4 s): establish ~4000 long-lived, mostly idle connections
+  // (quantitative-trading style).
+  sim::TrafficPattern quiet;
+  quiet.name = "long-lived-idle";
+  quiet.cps = 1000;
+  quiet.requests_per_conn = sim::DistSpec::constant(1000);  // stays open
+  quiet.request_cost_us = sim::DistSpec::constant(80);
+  quiet.request_gap_us = sim::DistSpec::exponential(2'000'000);  // ~idle
+  lb.start_pattern(quiet, 0, cfg.num_ports, SimTime::seconds(4));
+
+  // Phase 2 (at 6 s): every connection fires a burst of 3 requests at once
+  // ("certain trading conditions are met").
+  lb.eq().schedule_at(SimTime::seconds(6), [&lb] {
+    lb.burst_all_connections(sim::DistSpec::lognormal(250, 0.4), 3);
+  });
+
+  // Report per-second P999 / max latency around the surge.
+  std::printf("%-18s |", mode_name(mode));
+  for (int sec = 1; sec <= 9; ++sec) {
+    lb.eq().run_until(SimTime::seconds(sec));
+    auto window = lb.take_window_latency();
+    if (window.count() == 0) {
+      std::printf("     idle |");
+    } else {
+      std::printf(" %7.2fms |", static_cast<double>(window.p999()) / 1e6);
+    }
+  }
+  std::printf("  conns max/min=");
+  int64_t mx = 0, mn = 1 << 30;
+  for (WorkerId w = 0; w < lb.num_workers(); ++w) {
+    mx = std::max(mx, lb.worker(w).live_connections());
+    mn = std::min(mn, lb.worker(w).live_connections());
+  }
+  std::printf("%ld/%ld\n", static_cast<long>(mx), static_cast<long>(mn));
+}
+
+}  // namespace
+
+int main() {
+  header("Fig. 3: lag effect — long-lived connections + synchronized surge");
+  std::printf("Per-second P999 latency; the surge hits every connection at"
+              " t=6s.\n%-18s |", "mode");
+  for (int s = 1; s <= 9; ++s) std::printf("    t=%ds  |", s);
+  std::printf("\n");
+  run_mode(netsim::DispatchMode::EpollExclusive);
+  run_mode(netsim::DispatchMode::Reuseport);
+  run_mode(netsim::DispatchMode::HermesMode);
+  std::printf("\nShape: exclusive piles the idle connections onto few"
+              " workers, so the t=6s\nsurge spikes its P999 by orders of"
+              " magnitude; reuseport/Hermes spread the\nconnections and"
+              " absorb the same surge with a far smaller spike.\n");
+  return 0;
+}

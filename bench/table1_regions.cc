@@ -1,0 +1,67 @@
+// Table 1: request size and processing time distributions across four
+// regions (P50/P90/P99), plus Table 4: the case mix per region.
+//
+// Paper values for reference:
+//   Region1: size 243/312/2491 B,   time 2/9/42 ms
+//   Region2: size 831/3730/10132,   time 10/77/8190
+//   Region3: size 566/1951/50879,   time 3/278/49005
+//   Region4: size 721/1140/4638,    time 4/14/239
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "simcore/histogram.h"
+#include "simcore/rng.h"
+
+using namespace hermes;
+using namespace hermes::bench;
+
+int main() {
+  header("Table 1: request size / processing time distributions per region");
+
+  const double paper_size[4][3] = {{243, 312, 2491},
+                                   {831, 3730, 10132},
+                                   {566, 1951, 50879},
+                                   {721, 1140, 4638}};
+  const double paper_ms[4][3] = {
+      {2, 9, 42}, {10, 77, 8190}, {3, 278, 49005}, {4, 14, 239}};
+
+  sim::Rng rng(42);
+  const auto regions = sim::paper_region_traffic();
+  std::printf("%-9s | %27s | %30s\n", "", "Request size (bytes)",
+              "Processing time (ms)");
+  std::printf("%-9s | %8s %8s %9s | %9s %9s %10s\n", "Region", "P50", "P90",
+              "P99", "P50", "P90", "P99");
+  int idx = 0;
+  for (const auto& r : regions) {
+    sim::SampleSet bytes, ms;
+    for (int i = 0; i < 300000; ++i) {
+      if (rng.bernoulli(r.websocket_fraction)) {
+        bytes.add(r.websocket_bytes.sample(rng));
+        ms.add(r.websocket_ms.sample(rng));
+      } else {
+        bytes.add(r.request_bytes.sample(rng));
+        ms.add(r.processing_ms.sample(rng));
+      }
+    }
+    std::printf("%-9s | %8.0f %8.0f %9.0f | %9.1f %9.1f %10.1f\n",
+                r.name.c_str(), bytes.quantile(0.5), bytes.quantile(0.9),
+                bytes.quantile(0.99), ms.quantile(0.5), ms.quantile(0.9),
+                ms.quantile(0.99));
+    std::printf("%-9s | %8.0f %8.0f %9.0f | %9.1f %9.1f %10.1f  (paper)\n",
+                "", paper_size[idx][0], paper_size[idx][1], paper_size[idx][2],
+                paper_ms[idx][0], paper_ms[idx][1], paper_ms[idx][2]);
+    ++idx;
+  }
+
+  header("Table 4: distribution of the four cases across regions");
+  std::printf("%-8s %9s %9s %9s %9s\n", "", "Case1", "Case2", "Case3",
+              "Case4");
+  for (const auto& mix : sim::paper_region_mixes()) {
+    std::printf("%-8s %8.2f%% %8.2f%% %8.2f%% %8.2f%%\n", mix.name.c_str(),
+                mix.case_share[0] * 100, mix.case_share[1] * 100,
+                mix.case_share[2] * 100, mix.case_share[3] * 100);
+  }
+  std::printf("(Table 4 is an input to the simulator: region mixes are used"
+              " verbatim.)\n");
+  return 0;
+}

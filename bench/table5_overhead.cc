@@ -1,0 +1,174 @@
+// Table 5: overhead of Hermes components. Two parts:
+//   1. google-benchmark microbenchmarks of the real code paths — counter
+//      update (atomic WST write), scheduler (Algo. 1 over 32 workers),
+//      decision sync (atomic map store, standing in for the bpf() syscall),
+//      and the eBPF dispatcher program execution;
+//   2. simulated CPU-share accounting under light/medium/heavy load,
+//      mirroring the paper's flame-graph percentages (counter/scheduler/
+//      syscall userspace side, dispatcher kernel side).
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "core/hermes.h"
+
+using namespace hermes;
+
+namespace {
+
+struct Fixture {
+  Fixture() : runtime(make_opts()) {
+    const SimTime now = SimTime::millis(1);
+    for (WorkerId w = 0; w < 32; ++w) {
+      runtime.hooks_for(w).on_loop_enter(now);
+      runtime.wst().add_connections(w, static_cast<int64_t>(w) * 3);
+      runtime.wst().add_pending(w, static_cast<int64_t>(w) % 5);
+    }
+    std::vector<uint64_t> cookies;
+    for (WorkerId w = 0; w < 32; ++w) cookies.push_back(500 + w);
+    attachment = runtime.attach_port(cookies);
+    runtime.schedule_and_sync(0, now);
+  }
+  static core::HermesRuntime::Options make_opts() {
+    core::HermesRuntime::Options o;
+    o.num_workers = 32;
+    return o;
+  }
+  core::HermesRuntime runtime;
+  core::PortAttachment attachment;
+};
+
+Fixture& fixture() {
+  static Fixture f;
+  return f;
+}
+
+void BM_CounterUpdate(benchmark::State& state) {
+  auto& f = fixture();
+  auto hooks = f.runtime.hooks_for(5);
+  for (auto _ : state) {
+    hooks.on_conn_open();
+    hooks.on_event_processed();
+    hooks.on_conn_close();
+  }
+  state.SetItemsProcessed(state.iterations() * 3);
+}
+BENCHMARK(BM_CounterUpdate);
+
+void BM_Scheduler32Workers(benchmark::State& state) {
+  auto& f = fixture();
+  const SimTime now = SimTime::millis(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        f.runtime.scheduler().schedule(f.runtime.wst(), now));
+  }
+}
+BENCHMARK(BM_Scheduler32Workers);
+
+void BM_DecisionSync(benchmark::State& state) {
+  auto& f = fixture();
+  uint64_t bitmap = 0xfffff;
+  for (auto _ : state) {
+    f.runtime.sel_map().store_u64(0, bitmap);
+    ++bitmap;
+  }
+}
+BENCHMARK(BM_DecisionSync);
+
+void BM_ScheduleAndSyncFull(benchmark::State& state) {
+  auto& f = fixture();
+  const SimTime now = SimTime::millis(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.runtime.schedule_and_sync(7, now));
+  }
+}
+BENCHMARK(BM_ScheduleAndSyncFull);
+
+void BM_DispatcherBpfProgram(benchmark::State& state) {
+  auto& f = fixture();
+  bpf::ReuseportCtx ctx;
+  uint32_t h = 1;
+  for (auto _ : state) {
+    ctx.hash = h++;
+    ctx.selection_made = false;
+    benchmark::DoNotOptimize(f.runtime.vm().run(*f.attachment.program, ctx));
+  }
+}
+BENCHMARK(BM_DispatcherBpfProgram);
+
+void BM_DispatcherReferenceCpp(benchmark::State& state) {
+  core::DispatchProgramParams params;
+  const uint64_t bm = 0xfffffff0ull;
+  uint32_t h = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::reference_dispatch(params, &bm, h++, 0));
+  }
+}
+BENCHMARK(BM_DispatcherReferenceCpp);
+
+// Part 2: simulated CPU share of Hermes components per load level.
+void print_sim_overhead() {
+  using namespace hermes::bench;
+  header("Table 5 (part 2): CPU share of Hermes components by load");
+  std::printf("%-8s | %10s %10s %12s | %11s\n", "load", "counter",
+              "scheduler", "system call", "dispatcher");
+  for (double load : {1.0, 2.0, 3.0}) {
+    sim::LbDevice::Config cfg;
+    cfg.mode = netsim::DispatchMode::HermesMode;
+    cfg.num_workers = 8;
+    cfg.num_ports = 32;
+    cfg.seed = 4;
+    sim::LbDevice lb(cfg);
+    const SimTime end = SimTime::seconds(6);
+    lb.start_pattern(sim::case_pattern(1, cfg.num_workers, load), 0,
+                     cfg.num_ports, end);
+    lb.eq().run_until(end);
+
+    // Userspace components: charge measured per-op costs (from part 1's
+    // order of magnitude) times observed operation counts.
+    const auto& c = lb.hermes()->counters();
+    double events = 0;
+    for (WorkerId w = 0; w < lb.num_workers(); ++w) {
+      events += static_cast<double>(lb.worker(w).requests_done() +
+                                    lb.worker(w).accepts_done());
+    }
+    const double total_core_ns =
+        static_cast<double>(end.ns()) * cfg.num_workers;
+    // Per-op costs: counter ~15ns x 3 updates/event; scheduler ~60ns/worker
+    // scan; sync ~1us per syscall; dispatcher = bpf insns x ~3ns.
+    const double counter_pct = events * 3 * 15 / total_core_ns * 100;
+    const double sched_pct = static_cast<double>(c.schedules) * 8 * 60 /
+                             total_core_ns * 100;
+    const double sync_pct =
+        static_cast<double>(c.syncs) * 1000 / total_core_ns * 100;
+    uint64_t bpf_insns = 0;
+    for (uint32_t p = 0; p < cfg.num_ports; ++p) {
+      bpf_insns += lb.netstack()
+                       .group(static_cast<PortId>(cfg.first_port + p))
+                       ->stats()
+                       .bpf_insns;
+    }
+    const double dispatcher_pct =
+        static_cast<double>(bpf_insns) * 3 / total_core_ns * 100;
+    std::printf("%-8.0f | %9.3f%% %9.3f%% %11.3f%% | %10.3f%%\n", load,
+                counter_pct, sched_pct, sync_pct, dispatcher_pct);
+  }
+  std::printf("\npaper: light 0.122/0.272/0.275 | 0.005; heavy"
+              " 0.897/0.531/0.965 | 0.043\nshape: every component stays"
+              " well under 1%% and grows with load;\ndispatcher is the"
+              " cheapest.\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  std::printf("Table 5 (part 1): microbenchmarks of the real Hermes code"
+              " paths\n");
+  benchmark::RunSpecifiedBenchmarks();
+  print_sim_overhead();
+  return 0;
+}

@@ -1,0 +1,164 @@
+// simctl — a parameterizable command-line driver for the LB simulator.
+//
+// Run any dispatch mode against any of the paper's traffic cases without
+// writing code:
+//
+//   simctl --mode hermes --case 3 --load 2 --workers 8 --seconds 10
+//   simctl --mode exclusive --case 1 --load 3 --ports 256
+//   simctl --mode hermes --theta 0.25 --sync-us 10000
+//
+// Prints a one-page report: latency distribution, throughput, per-worker
+// balance, Hermes counters.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "sim/lb.h"
+
+using namespace hermes;
+
+namespace {
+
+struct Args {
+  std::string mode = "hermes";
+  int case_id = 3;
+  double load = 1.0;
+  uint32_t workers = 8;
+  uint32_t ports = 32;
+  double seconds = 10;
+  uint64_t seed = 1;
+  double theta = 0.5;
+  int64_t sync_us = 0;
+  bool help = false;
+};
+
+netsim::DispatchMode parse_mode(const std::string& m) {
+  if (m == "hermes") return netsim::DispatchMode::HermesMode;
+  if (m == "exclusive") return netsim::DispatchMode::EpollExclusive;
+  if (m == "reuseport") return netsim::DispatchMode::Reuseport;
+  if (m == "rr") return netsim::DispatchMode::EpollRr;
+  if (m == "wakeall") return netsim::DispatchMode::EpollWakeAll;
+  if (m == "fifo") return netsim::DispatchMode::IoUringFifo;
+  if (m == "dispatcher") return netsim::DispatchMode::UserDispatcher;
+  std::fprintf(stderr, "unknown mode '%s'\n", m.c_str());
+  std::exit(2);
+}
+
+Args parse(int argc, char** argv) {
+  Args a;
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", flag.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (flag == "--mode") a.mode = next();
+    else if (flag == "--case") a.case_id = std::atoi(next());
+    else if (flag == "--load") a.load = std::atof(next());
+    else if (flag == "--workers") a.workers = (uint32_t)std::atoi(next());
+    else if (flag == "--ports") a.ports = (uint32_t)std::atoi(next());
+    else if (flag == "--seconds") a.seconds = std::atof(next());
+    else if (flag == "--seed") a.seed = (uint64_t)std::atoll(next());
+    else if (flag == "--theta") a.theta = std::atof(next());
+    else if (flag == "--sync-us") a.sync_us = std::atoll(next());
+    else if (flag == "--help" || flag == "-h") a.help = true;
+    else {
+      std::fprintf(stderr, "unknown flag '%s' (try --help)\n", flag.c_str());
+      std::exit(2);
+    }
+  }
+  return a;
+}
+
+void usage() {
+  std::puts(
+      "simctl — drive the Hermes LB simulator\n\n"
+      "  --mode M       hermes|exclusive|reuseport|rr|wakeall|fifo|dispatcher\n"
+      "  --case N       traffic case 1-4 (paper Table 3)\n"
+      "  --load X       replay multiplier (1=light, 2=medium, 3=heavy)\n"
+      "  --workers N    worker processes / cores (default 8)\n"
+      "  --ports N      tenant ports (default 32)\n"
+      "  --seconds S    simulated duration (default 10)\n"
+      "  --seed N       RNG seed (default 1)\n"
+      "  --theta X      Hermes filter offset theta/Avg (default 0.5)\n"
+      "  --sync-us N    min gap between decision syncs, 0 = every loop");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args a = parse(argc, argv);
+  if (a.help) {
+    usage();
+    return 0;
+  }
+  if (a.case_id < 1 || a.case_id > 4 || a.workers < 1 || a.seconds <= 0) {
+    std::fprintf(stderr, "invalid arguments (try --help)\n");
+    return 2;
+  }
+
+  sim::LbDevice::Config cfg;
+  cfg.mode = parse_mode(a.mode);
+  cfg.num_workers = a.workers;
+  cfg.num_ports = a.ports;
+  cfg.seed = a.seed;
+  cfg.hermes.theta_ratio = a.theta;
+  cfg.worker.min_sync_interval = SimTime::micros(a.sync_us);
+  sim::LbDevice lb(cfg);
+
+  const SimTime end = SimTime::from_seconds_f(a.seconds);
+  lb.start_pattern(sim::case_pattern(a.case_id, a.workers, a.load), 0,
+                   cfg.num_ports, end);
+  const SimTime warmup = end / 5;
+  lb.eq().run_until(warmup);
+  lb.take_window_latency();
+  const uint64_t completed0 = lb.totals().requests_completed;
+  lb.sample_now();
+  lb.eq().run_until(end);
+  const auto sample = lb.sample_now();
+  const uint64_t done = lb.totals().requests_completed - completed0;
+  lb.eq().run_until(end + SimTime::seconds(1));
+  auto window = lb.take_window_latency();
+
+  std::printf("mode=%s case=%d load=%.2f workers=%u ports=%u seed=%lu"
+              " seconds=%.1f\n\n",
+              netsim::to_string(cfg.mode), a.case_id, a.load, a.workers,
+              a.ports, (unsigned long)a.seed, a.seconds);
+  std::printf("requests   : %lu completed (%.1f kRPS), %lu conns,"
+              " %lu drops\n",
+              (unsigned long)done,
+              (double)done / (end - warmup).s_f() / 1000.0,
+              (unsigned long)lb.totals().conns_opened,
+              (unsigned long)lb.totals().conns_dropped);
+  std::printf("latency    : avg %.3f ms, P50 %.3f, P90 %.3f, P99 %.3f,"
+              " P999 %.3f\n",
+              window.mean() / 1e6, (double)window.p50() / 1e6,
+              (double)window.p90() / 1e6, (double)window.p99() / 1e6,
+              (double)window.p999() / 1e6);
+  std::printf("cpu        : avg %.1f%%, min %.1f%%, max %.1f%%,"
+              " SD %.2f pp\n",
+              100 * sample.cpu_avg, 100 * sample.cpu_min,
+              100 * sample.cpu_max, 100 * sample.cpu_sd);
+  std::printf("workers    :");
+  for (WorkerId w = 0; w < lb.num_workers(); ++w) {
+    std::printf(" %ld", (long)lb.worker(w).live_connections());
+  }
+  std::printf("  (live connections)\n");
+  if (lb.hermes() != nullptr) {
+    std::printf("hermes     : bitmap=0x%lx, %lu schedules, %lu syncs\n",
+                (unsigned long)lb.hermes()->kernel_bitmap(),
+                (unsigned long)lb.hermes()->counters().schedules,
+                (unsigned long)lb.hermes()->counters().syncs);
+  }
+  if (lb.dispatcher() != nullptr) {
+    std::printf("dispatcher : %lu dispatched, core %.0f%% busy\n",
+                (unsigned long)lb.dispatcher()->dispatched(),
+                100.0 * (double)lb.dispatcher()->busy_time().ns() /
+                    (double)end.ns());
+  }
+  return 0;
+}

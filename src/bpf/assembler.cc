@@ -1,0 +1,23 @@
+#include "bpf/assembler.h"
+
+namespace hermes::bpf {
+
+Assembler& Assembler::label(const std::string& name) {
+  auto it = pending_.find(name);
+  if (it != pending_.end()) {
+    const size_t target = prog_.size();
+    for (size_t site : it->second) {
+      HERMES_CHECK_MSG(target > site, "labels must be forward references");
+      prog_[site].off = static_cast<int32_t>(target - site - 1);
+    }
+    pending_.erase(it);
+  }
+  return *this;
+}
+
+Program Assembler::finish() {
+  HERMES_CHECK_MSG(pending_.empty(), "unresolved label in bpf program");
+  return std::move(prog_);
+}
+
+}  // namespace hermes::bpf

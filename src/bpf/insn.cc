@@ -1,0 +1,117 @@
+#include "bpf/insn.h"
+
+#include <array>
+#include <sstream>
+
+namespace hermes::bpf {
+
+namespace {
+
+constexpr const char* kOpNames[] = {
+    "add",  "addi", "sub",  "subi", "mul",   "muli",  "div",   "divi",
+    "mod",  "modi", "and",  "andi", "or",    "ori",   "xor",   "xori",
+    "lsh",  "lshi", "rsh",  "rshi", "arsh",  "arshi", "neg",   "mov",
+    "movi",
+    "add32", "add32i", "sub32", "sub32i", "mul32", "mul32i",
+    "div32", "div32i", "mod32", "mod32i", "and32", "and32i",
+    "or32", "or32i", "xor32", "xor32i", "lsh32", "lsh32i",
+    "rsh32", "rsh32i", "arsh32", "arsh32i", "neg32",
+    "mov32", "mov32i", "ldimm64", "ldmapfd",
+    "ldxb", "ldxh", "ldxw", "ldxdw",
+    "stxb", "stxh", "stxw", "stxdw",
+    "stb",  "sth",  "stw",  "stdw",
+    "ja",
+    "jeq",  "jeqi", "jne",  "jnei", "jgt",   "jgti",  "jge",   "jgei",
+    "jlt",  "jlti", "jle",  "jlei", "jsgt",  "jsgti", "jsge",  "jsgei",
+    "jslt", "jslti", "jsle", "jslei", "jset", "jseti",
+    "call", "exit",
+};
+static_assert(std::size(kOpNames) == static_cast<size_t>(Op::Exit) + 1);
+
+bool is_jump(Op op) {
+  return op >= Op::Ja && op <= Op::JsetImm;
+}
+
+}  // namespace
+
+std::string to_string(Op op) { return kOpNames[static_cast<size_t>(op)]; }
+
+std::string disassemble(const Insn& insn) {
+  std::ostringstream os;
+  os << to_string(insn.op) << " r" << int(insn.dst);
+  switch (insn.op) {
+    case Op::AddReg: case Op::SubReg: case Op::MulReg: case Op::DivReg:
+    case Op::ModReg: case Op::AndReg: case Op::OrReg: case Op::XorReg:
+    case Op::LshReg: case Op::RshReg: case Op::ArshReg: case Op::MovReg:
+    case Op::Add32Reg: case Op::Sub32Reg: case Op::Mul32Reg:
+    case Op::Div32Reg: case Op::Mod32Reg: case Op::And32Reg:
+    case Op::Or32Reg: case Op::Xor32Reg: case Op::Lsh32Reg:
+    case Op::Rsh32Reg: case Op::Arsh32Reg:
+    case Op::Mov32Reg:
+      os << ", r" << int(insn.src);
+      break;
+    case Op::AddImm: case Op::SubImm: case Op::MulImm: case Op::DivImm:
+    case Op::ModImm: case Op::AndImm: case Op::OrImm: case Op::XorImm:
+    case Op::LshImm: case Op::RshImm: case Op::ArshImm: case Op::MovImm:
+    case Op::Add32Imm: case Op::Sub32Imm: case Op::Mul32Imm:
+    case Op::Div32Imm: case Op::Mod32Imm: case Op::And32Imm:
+    case Op::Or32Imm: case Op::Xor32Imm: case Op::Lsh32Imm:
+    case Op::Rsh32Imm: case Op::Arsh32Imm:
+    case Op::Mov32Imm: case Op::LdImm64: case Op::LdMapFd:
+      os << ", " << insn.imm;
+      break;
+    case Op::LdxB: case Op::LdxH: case Op::LdxW: case Op::LdxDW:
+      os << ", [r" << int(insn.src) << (insn.off >= 0 ? "+" : "") << insn.off
+         << "]";
+      break;
+    case Op::StxB: case Op::StxH: case Op::StxW: case Op::StxDW:
+      os.str("");
+      os << to_string(insn.op) << " [r" << int(insn.dst)
+         << (insn.off >= 0 ? "+" : "") << insn.off << "], r" << int(insn.src);
+      break;
+    case Op::StB: case Op::StH: case Op::StW: case Op::StDW:
+      os.str("");
+      os << to_string(insn.op) << " [r" << int(insn.dst)
+         << (insn.off >= 0 ? "+" : "") << insn.off << "], " << insn.imm;
+      break;
+    case Op::Call:
+      os.str("");
+      os << "call " << insn.imm;
+      break;
+    case Op::Exit:
+      os.str("");
+      os << "exit";
+      break;
+    case Op::Ja:
+      os.str("");
+      os << "ja +" << insn.off;
+      break;
+    default:
+      break;
+  }
+  if (is_jump(insn.op) && insn.op != Op::Ja) {
+    // conditional jump: append src/imm operand + target
+    switch (insn.op) {
+      case Op::JeqReg: case Op::JneReg: case Op::JgtReg: case Op::JgeReg:
+      case Op::JltReg: case Op::JleReg: case Op::JsgtReg: case Op::JsgeReg:
+      case Op::JsltReg: case Op::JsleReg: case Op::JsetReg:
+        os << ", r" << int(insn.src);
+        break;
+      default:
+        os << ", " << insn.imm;
+        break;
+    }
+    os << " -> +" << insn.off;
+  }
+  return os.str();
+}
+
+std::string disassemble(const Program& prog) {
+  std::ostringstream os;
+  for (size_t i = 0; i < prog.size(); ++i) {
+    os << i << ": " << disassemble(prog[i]) << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace hermes::bpf

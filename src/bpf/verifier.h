@@ -1,0 +1,50 @@
+// Static verifier for bpf::Program, modeling the safety rules the paper's
+// dispatch logic must live under (§5.1.3 "Harness the limited
+// programmability of eBPF"):
+//
+//   * forward-only control flow: any backward jump is rejected, so programs
+//     cannot loop — this is why popcount / find-nth-set-bit in the Hermes
+//     dispatch program are implemented branch-free with bitwise tricks;
+//   * all jump targets in bounds; no fall-through off the end; no
+//     unreachable instructions;
+//   * register typestate tracking (scalar vs. pointer-to-stack /
+//     pointer-to-context / pointer-to-map-value / map handle), with
+//     read-before-write rejection;
+//   * map-value pointers are null until proven otherwise by a JEQ/JNE 0
+//     check (exactly the real verifier's PTR_TO_MAP_VALUE_OR_NULL rule);
+//   * memory accesses statically bounds-checked against the 512-byte stack,
+//     the readable prefix of the context, or the map value size;
+//   * helper calls checked against typed signatures; r1-r5 clobbered;
+//   * r10 (frame pointer) is read-only; division by a zero immediate is
+//     rejected.
+//
+// Deliberate simplifications vs. the kernel (documented in DESIGN.md): no
+// value range tracking (pointer arithmetic must use constant immediates),
+// no stack-slot liveness (the VM zeroes the stack so uninitialized reads
+// return 0), no bounded-loop support (post-5.3 kernels allow it; the paper
+// targets 4.19).
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "bpf/insn.h"
+#include "bpf/maps.h"
+
+namespace hermes::bpf {
+
+struct VerifyResult {
+  bool ok = false;
+  std::string error;       // empty when ok
+  size_t error_pc = 0;     // instruction index of the failure
+  size_t insn_count = 0;   // program length (for reporting)
+
+  explicit operator bool() const { return ok; }
+};
+
+// `maps` is the load-time map table the program's LdMapFd slots refer to
+// (may contain nullptr only if the program never references that slot).
+VerifyResult verify(const Program& prog, std::span<Map* const> maps);
+
+}  // namespace hermes::bpf

@@ -1,0 +1,68 @@
+// The eBPF virtual machine: loads a verified program with its bound maps
+// and executes it against a ReuseportCtx (or raw context buffer).
+//
+// Execution model matches the kernel interpreter: 64-bit registers, 512-byte
+// zeroed stack per run, helpers dispatched by id, hard instruction budget.
+// Loads/stores are additionally bounds-checked at runtime (defense in depth
+// on top of the verifier; a violation is a bug in this repo, so it aborts).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "bpf/insn.h"
+#include "bpf/maps.h"
+#include "bpf/verifier.h"
+
+namespace hermes::bpf {
+
+// A loaded, verified program. Create via Vm::load().
+class LoadedProgram {
+ public:
+  const Program& insns() const { return prog_; }
+  std::span<Map* const> maps() const { return maps_; }
+
+ private:
+  friend class Vm;
+  Program prog_;
+  std::vector<Map*> maps_;
+};
+
+class Vm {
+ public:
+  // Time source for the KtimeGetNs helper; the simulator wires the sim
+  // clock in, the live demo wires CLOCK_MONOTONIC.
+  using TimeFn = std::function<uint64_t()>;
+  using RandFn = std::function<uint32_t()>;
+
+  Vm() = default;
+  void set_time_fn(TimeFn fn) { time_fn_ = std::move(fn); }
+  void set_rand_fn(RandFn fn) { rand_fn_ = std::move(fn); }
+
+  // Verify + bind maps. Returns nullptr and fills `error` on rejection.
+  std::unique_ptr<LoadedProgram> load(Program prog, std::vector<Map*> maps,
+                                      std::string* error = nullptr) const;
+
+  struct RunResult {
+    uint64_t ret = 0;          // r0 at exit
+    uint64_t insns_executed = 0;
+  };
+
+  // Run against a reuseport context. The program may call
+  // bpf_sk_select_reuseport, which records its decision into `ctx`.
+  RunResult run(const LoadedProgram& prog, ReuseportCtx& ctx) const;
+
+  // Cumulative executed-instruction counter across run() calls (overhead
+  // accounting for Table 5).
+  uint64_t total_insns() const { return total_insns_; }
+
+ private:
+  TimeFn time_fn_;
+  RandFn rand_fn_;
+  mutable uint64_t total_insns_ = 0;
+};
+
+}  // namespace hermes::bpf

@@ -1,0 +1,68 @@
+// Worker-selection bitmap operations (paper §5.3.2 / §5.4).
+//
+// A 64-bit word carries "which workers may accept new connections" from
+// userspace to the kernel: bit i set = worker i selected. Reference C++
+// implementations live here; the same algorithms are emitted as eBPF
+// bytecode in core/dispatch_prog.cc (branch-free, because the verifier
+// forbids loops), and a property test pins the two against each other.
+#pragma once
+
+#include <cstdint>
+
+#include "util/check.h"
+#include "util/types.h"
+
+namespace hermes::core {
+
+using WorkerBitmap = uint64_t;
+
+inline constexpr uint32_t kMaxWorkersPerGroup = 64;
+
+// Hamming weight via the classic bit-slicing reduction ([14] in the paper);
+// written out (not __builtin_popcountll) because the eBPF program must use
+// this exact sequence and tests compare them step for step.
+constexpr uint32_t count_nonzero_bits(uint64_t v) {
+  v = v - ((v >> 1) & 0x5555555555555555ull);
+  v = (v & 0x3333333333333333ull) + ((v >> 2) & 0x3333333333333333ull);
+  v = (v + (v >> 4)) & 0x0f0f0f0f0f0f0f0full;
+  return static_cast<uint32_t>((v * 0x0101010101010101ull) >> 56);
+}
+
+// Count trailing zeros, branch-free: ctz(x) = popcount((x & -x) - 1).
+// Undefined-input convention: ctz(0) = 64.
+constexpr uint32_t count_trailing_zeros(uint64_t v) {
+  return count_nonzero_bits((v & (0 - v)) - 1);
+}
+
+// Position (0-based, from LSB) of the nth set bit, n being 1-indexed.
+// Precondition: 1 <= n <= popcount(v). Branch-free: clear the lowest set
+// bit n-1 times with arithmetic masks, then ctz — the form the bytecode
+// uses (paper [5]: "select the bit position with the given rank").
+constexpr uint32_t find_nth_nonzero_bit(uint64_t v, uint32_t n) {
+  HERMES_DCHECK(n >= 1 && n <= count_nonzero_bits(v));
+  uint64_t x = v;
+  for (uint32_t k = 1; k < kMaxWorkersPerGroup; ++k) {
+    // mask = all-ones when k < n (another clear is needed), else zero.
+    const uint64_t mask = 0 - static_cast<uint64_t>(k < n ? 1 : 0);
+    x = (x & (x - 1) & mask) | (x & ~mask);
+  }
+  return count_trailing_zeros(x);
+}
+
+// reciprocal_scale(): uniform map of a u32 onto [0, n) without division
+// (include/linux/kernel.h). The kernel precomputes the 4-tuple hash; the
+// dispatch program scales it over the selected-worker count.
+constexpr uint32_t reciprocal_scale_u32(uint32_t val, uint32_t n) {
+  return static_cast<uint32_t>((static_cast<uint64_t>(val) * n) >> 32);
+}
+
+inline bool bitmap_test(WorkerBitmap bm, WorkerId w) {
+  return w < kMaxWorkersPerGroup && ((bm >> w) & 1u) != 0;
+}
+
+inline WorkerBitmap bitmap_set(WorkerBitmap bm, WorkerId w) {
+  HERMES_DCHECK(w < kMaxWorkersPerGroup);
+  return bm | (1ull << w);
+}
+
+}  // namespace hermes::core

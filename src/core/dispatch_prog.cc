@@ -1,0 +1,142 @@
+#include "core/dispatch_prog.h"
+
+#include "bpf/assembler.h"
+#include "util/check.h"
+
+namespace hermes::core {
+
+namespace {
+
+using bpf::Assembler;
+using bpf::HelperId;
+using bpf::R;
+using namespace hermes::bpf;  // r0..r10 register names
+
+// r[dst] = popcount(r[src]); r[src] and r[scratch] are clobbered.
+// Straight-line Hamming-weight reduction (paper ref [14]); 17 insns,
+// no branches — verifier-safe by construction.
+void emit_popcount(Assembler& a, R dst, R src, R scratch) {
+  HERMES_CHECK(dst.idx != src.idx && dst.idx != scratch.idx &&
+               src.idx != scratch.idx);
+  a.mov(dst, src);
+  a.rsh(dst, 1);
+  a.ld_imm64(scratch, 0x5555555555555555ull);
+  a.and_(dst, scratch);
+  a.sub(src, dst);  // src = a = v - ((v>>1) & 0x5555...)
+  a.mov(dst, src);
+  a.rsh(dst, 2);
+  a.ld_imm64(scratch, 0x3333333333333333ull);
+  a.and_(dst, scratch);
+  a.and_(src, scratch);
+  a.add(dst, src);  // dst = b = (a & 0x33..) + ((a>>2) & 0x33..)
+  a.mov(src, dst);
+  a.rsh(src, 4);
+  a.add(dst, src);  // b + (b>>4)
+  a.ld_imm64(scratch, 0x0f0f0f0f0f0f0f0full);
+  a.and_(dst, scratch);  // c
+  a.ld_imm64(scratch, 0x0101010101010101ull);
+  a.mul(dst, scratch);
+  a.rsh(dst, 56);
+}
+
+}  // namespace
+
+bpf::Program build_dispatch_program(const DispatchProgramParams& p) {
+  HERMES_CHECK(p.num_groups >= 1);
+  HERMES_CHECK(p.workers_per_group >= 1 &&
+               p.workers_per_group <= kMaxWorkersPerGroup);
+  HERMES_CHECK(p.min_workers >= 1);
+
+  Assembler a;
+  // Register plan: r6 = ctx, r7 = group index (later: global worker id),
+  // r8 = selection bitmap C, r9 = n = popcount(C); r0-r5 scratch.
+  a.mov(r6, r1);  // save ctx
+
+  // ---- level-1: group selection -------------------------------------
+  if (p.num_groups > 1) {
+    // group = reciprocal_scale(ctx.hash2, num_groups); hash2 covers only
+    // (DIP, Dport), so one destination service always lands in one group.
+    a.ldx_w(r7, r6, bpf::kCtxOffHash2);
+    a.mul(r7, static_cast<int64_t>(p.num_groups));
+    a.rsh(r7, 32);
+  } else {
+    a.mov(r7, 0);
+  }
+
+  // ---- load the group's bitmap from M_sel ----------------------------
+  a.stx_w(r10, -4, r7);  // key = group
+  a.ld_map_fd(r1, p.sel_map_slot);
+  a.mov(r2, r10);
+  a.add(r2, -4);
+  a.call(HelperId::MapLookupElem);
+  a.jeq(r0, 0, "fallback");
+  a.ldx_dw(r8, r0, 0);  // C = *(u64*)value
+
+  // ---- n = CountNonZeroBits(C) ----------------------------------------
+  a.mov(r2, r8);
+  emit_popcount(a, /*dst=*/r9, /*src=*/r2, /*scratch=*/r3);
+
+  // Algo. 2 line 4: not enough coarse-filtered workers -> plain reuseport.
+  a.jlt(r9, static_cast<int64_t>(p.min_workers), "fallback");
+
+  // ---- Nth = reciprocal_scale(ctx.hash, n) + 1 (1-indexed rank) --------
+  a.ldx_w(r1, r6, bpf::kCtxOffHash);
+  a.mul(r1, r9);
+  a.rsh(r1, 32);
+  a.add(r1, 1);
+
+  // ---- FindNthNonZeroBit(C, Nth) ---------------------------------------
+  // Clear the lowest set bit (Nth-1) times; forward-only early exit when
+  // the remaining rank is exhausted (paper ref [5]).
+  a.mov(r2, r8);
+  for (int64_t k = 1; k < static_cast<int64_t>(kMaxWorkersPerGroup); ++k) {
+    a.jle(r1, k, "rank_done");  // Nth <= k: enough bits cleared
+    a.mov(r4, r2);
+    a.sub(r4, 1);
+    a.and_(r2, r4);  // v &= v - 1
+  }
+  a.label("rank_done");
+  // position = ctz(v) = popcount((v & -v) - 1)
+  a.mov(r3, r2);
+  a.neg(r3);
+  a.and_(r3, r2);
+  a.sub(r3, 1);
+  emit_popcount(a, /*dst=*/r2, /*src=*/r3, /*scratch=*/r4);
+
+  // ---- global worker id -> socket --------------------------------------
+  a.mul(r7, static_cast<int64_t>(p.workers_per_group));
+  a.add(r7, r2);
+  a.stx_w(r10, -8, r7);  // key = worker id
+  a.mov(r1, r6);
+  a.ld_map_fd(r2, p.sock_map_slot);
+  a.mov(r3, r10);
+  a.add(r3, -8);
+  a.mov(r4, 0);
+  a.call(HelperId::SkSelectReuseport);
+  a.jne(r0, 0, "fallback");  // no socket registered for that id
+  a.mov(r0, static_cast<int64_t>(bpf::kRetUseSelection));
+  a.exit();
+
+  a.label("fallback");
+  a.mov(r0, static_cast<int64_t>(bpf::kRetFallback));
+  a.exit();
+
+  return a.finish();
+}
+
+WorkerId reference_dispatch(const DispatchProgramParams& p,
+                            const uint64_t* group_bitmaps, uint32_t hash,
+                            uint32_t hash2) {
+  uint32_t group = 0;
+  if (p.num_groups > 1) {
+    group = reciprocal_scale_u32(hash2, p.num_groups);
+  }
+  const uint64_t bitmap = group_bitmaps[group];
+  const uint32_t n = count_nonzero_bits(bitmap);
+  if (n < p.min_workers) return kInvalidWorker;
+  const uint32_t nth = reciprocal_scale_u32(hash, n) + 1;
+  const uint32_t pos = find_nth_nonzero_bit(bitmap, nth);
+  return group * p.workers_per_group + pos;
+}
+
+}  // namespace hermes::core

@@ -1,0 +1,55 @@
+// The "few added lines" of Fig. 9, packaged as a tiny API.
+//
+// A worker integrating Hermes into an existing epoll event loop calls:
+//
+//   while (true) {
+//     hooks.on_loop_enter(now);                       // + shm_avail_update
+//     n = epoll_wait(...);
+//     hooks.on_events_returned(n);                    // + shm_busy_count(n)
+//     for (event : events) {
+//       handle(event);                                //   accept path calls
+//       hooks.on_event_processed();                   //   on_conn_open/close
+//     }
+//     runtime.schedule_and_sync(now);                 // + schedule_and_sync()
+//   }
+//
+// This mirrors exactly where the paper instruments the loop; the simulator's
+// Worker and the live demo both go through this type, so the instrumentation
+// points are tested once and reused.
+#pragma once
+
+#include "core/wst.h"
+#include "util/types.h"
+
+namespace hermes::core {
+
+class EventLoopHooks {
+ public:
+  EventLoopHooks(WorkerStatusTable wst, WorkerId self)
+      : wst_(wst), self_(self) {}
+
+  WorkerId self() const { return self_; }
+
+  // Fig. 9 line 12: entering the while loop (hang detection heartbeat).
+  void on_loop_enter(SimTime now) { wst_.update_avail(self_, now); }
+
+  // Fig. 9 line 14: epoll_wait returned `n` events.
+  void on_events_returned(int64_t n) {
+    if (n > 0) wst_.add_pending(self_, n);
+  }
+
+  // Fig. 9 line 18: one event handled.
+  void on_event_processed() { wst_.add_pending(self_, -1); }
+
+  // Fig. 9 line 25 / 37: connection accepted / closed.
+  void on_conn_open() { wst_.add_connections(self_, 1); }
+  void on_conn_close() { wst_.add_connections(self_, -1); }
+
+  const WorkerStatusTable& wst() const { return wst_; }
+
+ private:
+  WorkerStatusTable wst_;
+  WorkerId self_;
+};
+
+}  // namespace hermes::core

@@ -1,0 +1,82 @@
+#include "core/hermes.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "util/check.h"
+
+namespace hermes::core {
+
+namespace {
+
+uint32_t groups_for(uint32_t workers, uint32_t wpg) {
+  return (workers + wpg - 1) / wpg;
+}
+
+}  // namespace
+
+HermesRuntime::HermesRuntime(const Options& opts)
+    : num_workers_(opts.num_workers),
+      wpg_(std::min(opts.config.workers_per_group, kMaxWorkersPerGroup)),
+      num_groups_(groups_for(opts.num_workers, wpg_)),
+      owned_wst_(),
+      wst_([&] {
+        void* mem = opts.wst_memory;
+        if (mem == nullptr) {
+          const size_t bytes =
+              WorkerStatusTable::required_bytes(opts.num_workers);
+          // 64-byte alignment for the cache-line slot layout.
+          owned_wst_.resize(bytes + 64);
+          auto addr = reinterpret_cast<uintptr_t>(owned_wst_.data());
+          mem = reinterpret_cast<void*>((addr + 63) & ~uintptr_t{63});
+        }
+        return WorkerStatusTable::init(mem, opts.num_workers);
+      }()),
+      scheduler_(opts.config),
+      sel_map_(std::make_unique<bpf::ArrayMap>(num_groups_, sizeof(uint64_t))) {
+  HERMES_CHECK(num_workers_ > 0);
+}
+
+ScheduleResult HermesRuntime::schedule_and_sync(WorkerId self, SimTime now) {
+  HERMES_CHECK(self < num_workers_);
+  const uint32_t group = self / wpg_;
+  const WorkerId base = group * wpg_;
+  const uint32_t limit = std::min(wpg_, num_workers_ - base);
+
+  const ScheduleResult res = scheduler_.schedule(wst_, now, base, limit);
+  ++counters_.schedules;
+  counters_.workers_selected_sum += res.selected;
+
+  // Userspace -> kernel decision sync: one atomic 8-byte store into the
+  // eBPF array map. Multiple workers may race here; last write wins, which
+  // is exactly the paper's lock-free design (freshest status is best).
+  sel_map_->store_u64(group, res.bitmap);
+  ++counters_.syncs;
+  return res;
+}
+
+PortAttachment HermesRuntime::attach_port(
+    const std::vector<uint64_t>& worker_cookies) {
+  HERMES_CHECK_MSG(worker_cookies.size() == num_workers_,
+                   "one socket cookie per worker required");
+  PortAttachment att;
+  att.sock_map = std::make_unique<bpf::ReuseportSockArray>(num_workers_);
+  for (uint32_t w = 0; w < num_workers_; ++w) {
+    HERMES_CHECK(att.sock_map->update(w, worker_cookies[w]));
+  }
+
+  DispatchProgramParams params;
+  params.sel_map_slot = 0;
+  params.sock_map_slot = 1;
+  params.num_groups = num_groups_;
+  params.workers_per_group = wpg_;
+  params.min_workers = scheduler_.config().min_workers_for_dispatch;
+
+  std::string err;
+  att.program = vm_.load(build_dispatch_program(params),
+                         {sel_map_.get(), att.sock_map.get()}, &err);
+  HERMES_CHECK_MSG(att.program != nullptr, err.c_str());
+  return att;
+}
+
+}  // namespace hermes::core

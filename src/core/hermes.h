@@ -1,0 +1,102 @@
+// HermesRuntime: ties the pieces of the closed loop together (paper §4.1).
+//
+//   stage 1  WorkerStatusTable (lock-free shm)      <- EventLoopHooks
+//   stage 2  Scheduler (Algo. 1) + bitmap sync       <- schedule_and_sync()
+//   stage 3  dispatch program (Algo. 2) over eBPF    <- PortAttachment
+//
+// The runtime is deliberately kernel-agnostic: it owns the bpf VM, the
+// M_sel map (one u64 bitmap per worker group) and, per port, a
+// ReuseportSockArray plus a verified dispatch program. The simulator
+// attaches those to netsim reuseport groups; the live demo drives them
+// directly. Both consume identical code paths.
+//
+// Workers with id >= 64 are handled by the two-level scheme the paper
+// describes (§7): workers are partitioned into groups of
+// `config.workers_per_group`; each group has its own bitmap slot in M_sel,
+// each worker schedules only its own group's slice of the WST, and the
+// dispatch program picks group-by-hash then worker-by-bitmap.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bpf/maps.h"
+#include "bpf/vm.h"
+#include "core/config.h"
+#include "core/dispatch_prog.h"
+#include "core/event_loop_hooks.h"
+#include "core/scheduler.h"
+#include "core/wst.h"
+
+namespace hermes::core {
+
+// Per-port kernel-side state: the socket map and the verified program.
+struct PortAttachment {
+  std::unique_ptr<bpf::ReuseportSockArray> sock_map;
+  std::unique_ptr<bpf::LoadedProgram> program;
+};
+
+class HermesRuntime {
+ public:
+  struct Options {
+    HermesConfig config{};
+    uint32_t num_workers = 4;
+    // Optional externally-owned WST memory (e.g. shm::ShmRegion::data(),
+    // 64-byte aligned, >= WorkerStatusTable::required_bytes(num_workers)).
+    // When null the runtime allocates private memory (single-process use).
+    void* wst_memory = nullptr;
+  };
+
+  explicit HermesRuntime(const Options& opts);
+
+  uint32_t num_workers() const { return num_workers_; }
+  uint32_t num_groups() const { return num_groups_; }
+  uint32_t workers_per_group() const { return wpg_; }
+  const HermesConfig& config() const { return scheduler_.config(); }
+
+  WorkerStatusTable& wst() { return wst_; }
+  const WorkerStatusTable& wst() const { return wst_; }
+  Scheduler& scheduler() { return scheduler_; }
+  bpf::Vm& vm() { return vm_; }
+  bpf::ArrayMap& sel_map() { return *sel_map_; }
+
+  // Stage-1 instrumentation handle for a worker (Fig. 9).
+  EventLoopHooks hooks_for(WorkerId w) { return EventLoopHooks{wst_, w}; }
+
+  // Stage 2, executed by worker `self` at the end of its event loop:
+  // cascade-filter the worker's own group and atomically publish the
+  // bitmap to the kernel through M_sel. Returns the filter result.
+  ScheduleResult schedule_and_sync(WorkerId self, SimTime now);
+
+  // Stage-3 attachment for one port: builds the socket map from the given
+  // per-worker socket cookies and loads (verifies) the dispatch program.
+  // Aborts if the program fails verification — that would be a build bug.
+  PortAttachment attach_port(const std::vector<uint64_t>& worker_cookies);
+
+  // Current kernel-visible bitmap of a group (diagnostics/tests).
+  uint64_t kernel_bitmap(uint32_t group = 0) {
+    return sel_map_->load_u64(group);
+  }
+
+  struct Counters {
+    uint64_t schedules = 0;      // scheduler executions (Fig. 14)
+    uint64_t syncs = 0;          // map-update "syscalls" (Table 5)
+    uint64_t workers_selected_sum = 0;  // for avg pass ratio (Fig. 14)
+  };
+  const Counters& counters() const { return counters_; }
+
+ private:
+  uint32_t num_workers_;
+  uint32_t wpg_;
+  uint32_t num_groups_;
+  std::vector<uint8_t> owned_wst_;  // empty when external memory is used
+  WorkerStatusTable wst_;
+  Scheduler scheduler_;
+  bpf::Vm vm_;
+  std::unique_ptr<bpf::ArrayMap> sel_map_;
+  Counters counters_;
+};
+
+}  // namespace hermes::core

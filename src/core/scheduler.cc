@@ -1,0 +1,97 @@
+#include "core/scheduler.h"
+
+namespace hermes::core {
+
+namespace {
+
+// FilterCount (Algo. 1 lines 11-13): keep workers whose metric is below
+// avg + theta, where avg is computed over the *current* candidate set.
+// Returns the filtered bitmap; `metric` indexes by absolute worker id.
+template <typename MetricFn>
+WorkerBitmap filter_count(WorkerBitmap candidates, WorkerId base,
+                          uint32_t limit, double theta_ratio,
+                          MetricFn&& metric) {
+  const uint32_t n = count_nonzero_bits(candidates);
+  if (n == 0) return 0;
+  double sum = 0;
+  for (uint32_t i = 0; i < limit; ++i) {
+    if (bitmap_test(candidates, i)) {
+      sum += static_cast<double>(metric(base + i));
+    }
+  }
+  const double avg = sum / n;
+  const double threshold = avg + theta_ratio * avg;
+  WorkerBitmap out = 0;
+  for (uint32_t i = 0; i < limit; ++i) {
+    if (!bitmap_test(candidates, i)) continue;
+    const auto v = static_cast<double>(metric(base + i));
+    // R_i < Avg + theta. When every candidate has the same value, the
+    // strict comparison with theta == 0 would empty the set; treat the
+    // degenerate all-equal case as all-pass (avg == v for everyone).
+    if (v < threshold || v == avg) out = bitmap_set(out, i);
+  }
+  return out;
+}
+
+}  // namespace
+
+ScheduleResult Scheduler::schedule(const WorkerStatusTable& wst, SimTime now,
+                                   WorkerId base, uint32_t limit) const {
+  return schedule_with_order(wst, now, cfg_.stage_order, cfg_.num_stages,
+                             base, limit);
+}
+
+ScheduleResult Scheduler::schedule_with_order(const WorkerStatusTable& wst,
+                                              SimTime now,
+                                              const FilterStage* order,
+                                              uint32_t num_stages,
+                                              WorkerId base,
+                                              uint32_t limit) const {
+  if (limit == 0) {
+    limit = wst.num_workers() - base;
+  }
+  HERMES_CHECK(limit <= kMaxWorkersPerGroup && base + limit <= wst.num_workers());
+
+  // Snapshot the slice once: each metric is an individual atomic read; the
+  // table is read lock-free while writers keep updating (paper §5.3.1).
+  WorkerSnapshot snaps[kMaxWorkersPerGroup];
+  for (uint32_t i = 0; i < limit; ++i) {
+    snaps[i] = wst.read(base + i);
+  }
+
+  ScheduleResult res;
+  WorkerBitmap w = limit == 64 ? ~0ull : ((1ull << limit) - 1);
+
+  for (uint32_t s = 0; s < num_stages; ++s) {
+    switch (order[s]) {
+      case FilterStage::Time: {
+        WorkerBitmap out = 0;
+        for (uint32_t i = 0; i < limit; ++i) {
+          if (bitmap_test(w, i) && !is_hung(snaps[i], now)) {
+            out = bitmap_set(out, i);
+          }
+        }
+        w = out;
+        res.after_time = count_nonzero_bits(w);
+        break;
+      }
+      case FilterStage::Connections:
+        w = filter_count(w, base, limit, cfg_.theta_ratio,
+                         [&](WorkerId id) { return snaps[id - base].connections; });
+        res.after_conn = count_nonzero_bits(w);
+        break;
+      case FilterStage::PendingEvents:
+        w = filter_count(w, base, limit, cfg_.theta_ratio, [&](WorkerId id) {
+          return snaps[id - base].pending_events;
+        });
+        res.after_event = count_nonzero_bits(w);
+        break;
+    }
+  }
+
+  res.bitmap = w;
+  res.selected = count_nonzero_bits(w);
+  return res;
+}
+
+}  // namespace hermes::core

@@ -1,0 +1,66 @@
+// Hermes stage 2: the cascading worker filter (paper Algo. 1, §5.2.2).
+//
+// schedule() is the coarse-grained filter every worker runs at the end of
+// its epoll event loop:
+//   1. FilterTime:  drop workers whose loop-entry timestamp is stale
+//                   (hung/crashed detection) — stability first;
+//   2. FilterCount(conn):  keep workers with connections < avg + theta
+//                   (guards against the "lag effect" of synchronized surges
+//                   over accumulated connections);
+//   3. FilterCount(event): keep workers with pending events < avg + theta
+//                   (fast responders, lower latency).
+// The filtering ORDER is a design decision the paper justifies; the
+// ablation bench swaps it to show why. theta = theta_ratio * avg (Fig. 15).
+//
+// Single O(n) pass per filter over at most 64 workers; no allocation on the
+// hot path.
+#pragma once
+
+#include <cstdint>
+
+#include "core/bitmap.h"
+#include "core/config.h"
+#include "core/wst.h"
+#include "util/types.h"
+
+namespace hermes::core {
+
+struct ScheduleResult {
+  WorkerBitmap bitmap = 0;       // workers surviving all filters
+  uint32_t after_time = 0;       // survivors after FilterTime
+  uint32_t after_conn = 0;       // survivors after FilterCount(conn)
+  uint32_t after_event = 0;      // survivors after FilterCount(event)
+  uint32_t selected = 0;         // popcount(bitmap)
+};
+
+class Scheduler {
+ public:
+  explicit Scheduler(HermesConfig cfg) : cfg_(cfg) {}
+
+  const HermesConfig& config() const { return cfg_; }
+  // Live policy updates (PolicyEndpoint / ops tooling). Safe: the
+  // scheduler reads its config afresh on every schedule() call.
+  HermesConfig& mutable_config() { return cfg_; }
+  void set_theta_ratio(double r) { cfg_.theta_ratio = r; }
+
+  // Run Algo. 1 over the first `limit` workers of the WST starting at
+  // `base` (group slicing for >64-worker machines); limit <= 64.
+  ScheduleResult schedule(const WorkerStatusTable& wst, SimTime now,
+                          WorkerId base = 0, uint32_t limit = 0) const;
+
+  // Ablation hook: run the cascade in a custom stage order.
+  ScheduleResult schedule_with_order(const WorkerStatusTable& wst, SimTime now,
+                                     const FilterStage* order,
+                                     uint32_t num_stages, WorkerId base = 0,
+                                     uint32_t limit = 0) const;
+
+  // FilterTime predicate exposed for reuse (degradation, probes).
+  bool is_hung(const WorkerSnapshot& snap, SimTime now) const {
+    return now.ns() - snap.loop_enter_ns > cfg_.hang_threshold.ns();
+  }
+
+ private:
+  HermesConfig cfg_;
+};
+
+}  // namespace hermes::core

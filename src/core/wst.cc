@@ -1,0 +1,32 @@
+#include "core/wst.h"
+
+namespace hermes::core {
+
+WorkerStatusTable WorkerStatusTable::init(void* mem, uint32_t num_workers) {
+  HERMES_CHECK(mem != nullptr && num_workers > 0);
+  HERMES_CHECK_MSG(reinterpret_cast<uintptr_t>(mem) % 64 == 0,
+                   "WST memory must be 64-byte aligned");
+  auto* header = new (mem) Header{};
+  header->magic = kMagic;
+  header->version = kVersion;
+  header->num_workers = num_workers;
+  auto* slots = reinterpret_cast<WorkerSlot*>(
+      static_cast<char*>(mem) + sizeof(Header));
+  for (uint32_t i = 0; i < num_workers; ++i) {
+    new (&slots[i]) WorkerSlot{};
+  }
+  return WorkerStatusTable{header, slots};
+}
+
+WorkerStatusTable WorkerStatusTable::attach(void* mem) {
+  HERMES_CHECK(mem != nullptr);
+  auto* header = static_cast<Header*>(mem);
+  HERMES_CHECK_MSG(header->magic == kMagic, "WST magic mismatch");
+  HERMES_CHECK_MSG(header->version == kVersion, "WST version mismatch");
+  HERMES_CHECK(header->num_workers > 0);
+  auto* slots = reinterpret_cast<WorkerSlot*>(
+      static_cast<char*>(mem) + sizeof(Header));
+  return WorkerStatusTable{header, slots};
+}
+
+}  // namespace hermes::core

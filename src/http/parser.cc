@@ -1,0 +1,308 @@
+#include "http/parser.h"
+
+#include <algorithm>
+#include <cctype>
+#include <charconv>
+
+namespace hermes::http {
+
+namespace {
+
+char ascii_lower(char c) {
+  return (c >= 'A' && c <= 'Z') ? static_cast<char>(c - 'A' + 'a') : c;
+}
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+}  // namespace
+
+const char* to_string(Method m) {
+  switch (m) {
+    case Method::Get: return "GET";
+    case Method::Head: return "HEAD";
+    case Method::Post: return "POST";
+    case Method::Put: return "PUT";
+    case Method::Delete: return "DELETE";
+    case Method::Connect: return "CONNECT";
+    case Method::Options: return "OPTIONS";
+    case Method::Trace: return "TRACE";
+    case Method::Patch: return "PATCH";
+    case Method::Unknown: return "UNKNOWN";
+  }
+  return "UNKNOWN";
+}
+
+Method parse_method(std::string_view s) {
+  if (s == "GET") return Method::Get;
+  if (s == "HEAD") return Method::Head;
+  if (s == "POST") return Method::Post;
+  if (s == "PUT") return Method::Put;
+  if (s == "DELETE") return Method::Delete;
+  if (s == "CONNECT") return Method::Connect;
+  if (s == "OPTIONS") return Method::Options;
+  if (s == "TRACE") return Method::Trace;
+  if (s == "PATCH") return Method::Patch;
+  return Method::Unknown;
+}
+
+bool HeaderMap::iequals(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (ascii_lower(a[i]) != ascii_lower(b[i])) return false;
+  }
+  return true;
+}
+
+void HeaderMap::add(std::string name, std::string value) {
+  headers_.emplace_back(std::move(name), std::move(value));
+}
+
+std::optional<std::string_view> HeaderMap::get(std::string_view name) const {
+  for (const auto& [n, v] : headers_) {
+    if (iequals(n, name)) return std::string_view{v};
+  }
+  return std::nullopt;
+}
+
+std::vector<std::string_view> HeaderMap::get_all(std::string_view name) const {
+  std::vector<std::string_view> out;
+  for (const auto& [n, v] : headers_) {
+    if (iequals(n, name)) out.emplace_back(v);
+  }
+  return out;
+}
+
+bool Request::keep_alive() const {
+  const auto conn = headers.get("connection");
+  if (version_major == 1 && version_minor == 0) {
+    return conn && HeaderMap::iequals(*conn, "keep-alive");
+  }
+  return !(conn && HeaderMap::iequals(*conn, "close"));
+}
+
+bool Request::is_websocket_upgrade() const {
+  const auto up = headers.get("upgrade");
+  return up && HeaderMap::iequals(*up, "websocket");
+}
+
+void RequestParser::set_error(const char* msg) {
+  state_ = State::Error;
+  error_ = msg;
+}
+
+size_t RequestParser::feed(std::string_view data) {
+  size_t consumed = 0;
+  while (consumed < data.size() && state_ != State::Complete &&
+         state_ != State::Error) {
+    const std::string_view rest = data.substr(consumed);
+    switch (state_) {
+      case State::RequestLine:
+      case State::Headers:
+      case State::ChunkSize:
+      case State::ChunkTrailer: {
+        // Line-oriented states: accumulate until CRLF (tolerate bare LF).
+        const size_t nl = rest.find('\n');
+        const size_t take_n = (nl == std::string_view::npos) ? rest.size()
+                                                             : nl + 1;
+        line_buf_.append(rest.data(), take_n);
+        consumed += take_n;
+        const size_t limit =
+            state_ == State::RequestLine ? kMaxRequestLine : kMaxHeaderBytes;
+        if (line_buf_.size() > limit) {
+          set_error("line too long");
+          break;
+        }
+        if (nl == std::string_view::npos) break;  // need more data
+
+        std::string_view line{line_buf_};
+        line.remove_suffix(1);  // '\n'
+        if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+
+        if (state_ == State::RequestLine) {
+          if (line.empty()) {
+            // Robustness: ignore leading blank lines (RFC 9112 §2.2).
+            line_buf_.clear();
+            break;
+          }
+          req_.wire_size += line_buf_.size();
+          if (!parse_request_line(line)) {
+            set_error("malformed request line");
+          } else {
+            state_ = State::Headers;
+          }
+        } else if (state_ == State::Headers) {
+          req_.wire_size += line_buf_.size();
+          if (line.empty()) {
+            headers_done();
+          } else if (!parse_header_line(line)) {
+            set_error("malformed header");
+          }
+        } else if (state_ == State::ChunkSize) {
+          req_.wire_size += line_buf_.size();
+          // chunk-size [;extensions]
+          std::string_view sz = line.substr(0, line.find(';'));
+          sz = trim(sz);
+          size_t value = 0;
+          const auto [p, ec] = std::from_chars(
+              sz.data(), sz.data() + sz.size(), value, 16);
+          if (ec != std::errc{} || p != sz.data() + sz.size()) {
+            set_error("bad chunk size");
+          } else if (value == 0) {
+            state_ = State::ChunkTrailer;
+          } else if (req_.body.size() + value > kMaxBodyBytes) {
+            set_error("body too large");
+          } else {
+            body_remaining_ = value;
+            state_ = State::ChunkData;
+          }
+        } else {  // ChunkTrailer
+          req_.wire_size += line_buf_.size();
+          if (line.empty()) state_ = State::Complete;
+          // else: trailer header, ignored
+        }
+        line_buf_.clear();
+        break;
+      }
+
+      case State::Body: {
+        const size_t take_n = std::min(body_remaining_, rest.size());
+        req_.body.append(rest.data(), take_n);
+        req_.wire_size += take_n;
+        body_remaining_ -= take_n;
+        consumed += take_n;
+        if (body_remaining_ == 0) state_ = State::Complete;
+        break;
+      }
+
+      case State::ChunkData: {
+        // Chunk payload, then its trailing CRLF.
+        if (body_remaining_ > 0) {
+          const size_t take_n = std::min(body_remaining_, rest.size());
+          req_.body.append(rest.data(), take_n);
+          req_.wire_size += take_n;
+          body_remaining_ -= take_n;
+          consumed += take_n;
+        } else {
+          // Swallow CRLF after the chunk.
+          const char c = rest.front();
+          ++consumed;
+          ++req_.wire_size;
+          if (c == '\n') state_ = State::ChunkSize;
+          else if (c != '\r') set_error("missing chunk CRLF");
+        }
+        break;
+      }
+
+      case State::Complete:
+      case State::Error:
+        break;
+    }
+  }
+  return consumed;
+}
+
+bool RequestParser::parse_request_line(std::string_view line) {
+  const size_t sp1 = line.find(' ');
+  if (sp1 == std::string_view::npos) return false;
+  const size_t sp2 = line.rfind(' ');
+  if (sp2 == sp1) return false;
+
+  req_.method = parse_method(line.substr(0, sp1));
+  req_.target = std::string{trim(line.substr(sp1 + 1, sp2 - sp1 - 1))};
+  if (req_.target.empty()) return false;
+
+  const std::string_view version = line.substr(sp2 + 1);
+  if (version.size() != 8 || !version.starts_with("HTTP/") ||
+      version[6] != '.' || !std::isdigit(version[5]) ||
+      !std::isdigit(version[7])) {
+    return false;
+  }
+  req_.version_major = version[5] - '0';
+  req_.version_minor = version[7] - '0';
+
+  const size_t q = req_.target.find('?');
+  if (q == std::string::npos) {
+    req_.path = req_.target;
+    req_.query.clear();
+  } else {
+    req_.path = req_.target.substr(0, q);
+    req_.query = req_.target.substr(q + 1);
+  }
+  return true;
+}
+
+namespace {
+
+// RFC 9110 token characters (valid in header field names).
+bool is_tchar(char c) {
+  if (std::isalnum(static_cast<unsigned char>(c))) return true;
+  switch (c) {
+    case '!': case '#': case '$': case '%': case '&': case '\'': case '*':
+    case '+': case '-': case '.': case '^': case '_': case '`': case '|':
+    case '~':
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+bool RequestParser::parse_header_line(std::string_view line) {
+  const size_t colon = line.find(':');
+  if (colon == std::string_view::npos || colon == 0) return false;
+  std::string_view name = line.substr(0, colon);
+  for (char c : name) {
+    if (!is_tchar(c)) return false;
+  }
+  req_.headers.add(std::string{name}, std::string{trim(line.substr(colon + 1))});
+  return true;
+}
+
+void RequestParser::headers_done() {
+  const auto te = req_.headers.get("transfer-encoding");
+  if (te && HeaderMap::iequals(*te, "chunked")) {
+    chunked_ = true;
+    state_ = State::ChunkSize;
+    return;
+  }
+  const auto cl = req_.headers.get("content-length");
+  if (cl) {
+    size_t n = 0;
+    const auto [p, ec] =
+        std::from_chars(cl->data(), cl->data() + cl->size(), n);
+    if (ec != std::errc{} || p != cl->data() + cl->size()) {
+      set_error("bad content-length");
+      return;
+    }
+    if (n > kMaxBodyBytes) {
+      set_error("body too large");
+      return;
+    }
+    body_remaining_ = n;
+    state_ = n == 0 ? State::Complete : State::Body;
+    return;
+  }
+  state_ = State::Complete;  // no body
+}
+
+Request RequestParser::take() {
+  Request out = std::move(req_);
+  req_ = Request{};
+  line_buf_.clear();
+  body_remaining_ = 0;
+  chunked_ = false;
+  state_ = State::RequestLine;
+  error_ = "";
+  return out;
+}
+
+}  // namespace hermes::http

@@ -1,0 +1,109 @@
+// Incremental HTTP/1.1 request parser.
+//
+// The paper's L7 LB terminates connections and routes on application-layer
+// attributes (§2.1: parse HTTP, route by policy, TLS offload, protocol
+// translation, compression). This parser is the first step of that pipeline:
+// it consumes bytes as they arrive (possibly fragmented arbitrarily) and
+// produces a Request. Used by the live demo's real workers and by tests;
+// the simulator models its cost via http::CostModel.
+//
+// Scope: request line + headers + fixed Content-Length bodies + chunked
+// transfer encoding. No HTTP/2 (the paper's LBs translate such protocols
+// before this stage).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace hermes::http {
+
+enum class Method : uint8_t {
+  Get, Head, Post, Put, Delete, Connect, Options, Trace, Patch, Unknown
+};
+
+const char* to_string(Method m);
+Method parse_method(std::string_view s);
+
+// Case-insensitive header collection preserving insertion order.
+class HeaderMap {
+ public:
+  void add(std::string name, std::string value);
+  // First value for `name` (case-insensitive), if any.
+  std::optional<std::string_view> get(std::string_view name) const;
+  // All values for repeated headers.
+  std::vector<std::string_view> get_all(std::string_view name) const;
+  size_t size() const { return headers_.size(); }
+  const std::pair<std::string, std::string>& at(size_t i) const {
+    return headers_[i];
+  }
+
+  static bool iequals(std::string_view a, std::string_view b);
+
+ private:
+  std::vector<std::pair<std::string, std::string>> headers_;
+};
+
+struct Request {
+  Method method = Method::Unknown;
+  std::string target;        // origin-form, e.g. "/index.html?q=1"
+  std::string path;          // target without the query
+  std::string query;         // without '?'
+  int version_major = 1;
+  int version_minor = 1;
+  HeaderMap headers;
+  std::string body;
+  size_t wire_size = 0;      // total bytes consumed for this request
+
+  std::optional<std::string_view> host() const {
+    return headers.get("host");
+  }
+  bool keep_alive() const;
+  bool is_websocket_upgrade() const;
+};
+
+// Push parser. Feed bytes; when a full request is available, take() it.
+// One parser instance handles a whole keep-alive connection: after take(),
+// feeding continues with the next pipelined request.
+class RequestParser {
+ public:
+  enum class State : uint8_t {
+    RequestLine, Headers, Body, ChunkSize, ChunkData, ChunkTrailer,
+    Complete, Error
+  };
+
+  // Consumes up to data.size() bytes; returns bytes consumed. Stops
+  // consuming once a request completes (pipelining: caller re-feeds rest).
+  size_t feed(std::string_view data);
+
+  State state() const { return state_; }
+  bool has_request() const { return state_ == State::Complete; }
+  bool failed() const { return state_ == State::Error; }
+  std::string_view error() const { return error_; }
+
+  // Retrieve the parsed request and reset for the next one.
+  Request take();
+
+  // Hard limits (guard against abusive inputs, as any real LB must).
+  static constexpr size_t kMaxRequestLine = 8192;
+  static constexpr size_t kMaxHeaderBytes = 64 * 1024;
+  static constexpr size_t kMaxBodyBytes = 16 * 1024 * 1024;
+
+ private:
+  void set_error(const char* msg);
+  bool parse_request_line(std::string_view line);
+  bool parse_header_line(std::string_view line);
+  void headers_done();
+
+  State state_ = State::RequestLine;
+  std::string line_buf_;
+  Request req_;
+  size_t body_remaining_ = 0;
+  bool chunked_ = false;
+  const char* error_ = "";
+};
+
+}  // namespace hermes::http

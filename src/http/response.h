@@ -1,0 +1,99 @@
+// Minimal HTTP/1.1 response serialization — the reply half of the live
+// demo's L7 termination (parse with http::RequestParser, answer with
+// http::Response).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace hermes::http {
+
+struct Response {
+  int status = 200;
+  std::vector<std::pair<std::string, std::string>> headers;
+  std::string body;
+
+  Response& set_status(int s) {
+    status = s;
+    return *this;
+  }
+  Response& add_header(std::string name, std::string value) {
+    headers.emplace_back(std::move(name), std::move(value));
+    return *this;
+  }
+  Response& set_body(std::string b) {
+    body = std::move(b);
+    return *this;
+  }
+
+  // Serialize to wire form. Adds Content-Length automatically (unless the
+  // caller already supplied one) so clients can frame the body.
+  std::string serialize() const;
+
+  static const char* reason_phrase(int status);
+};
+
+inline const char* Response::reason_phrase(int s) {
+  switch (s) {
+    case 200: return "OK";
+    case 204: return "No Content";
+    case 301: return "Moved Permanently";
+    case 302: return "Found";
+    case 400: return "Bad Request";
+    case 403: return "Forbidden";
+    case 404: return "Not Found";
+    case 408: return "Request Timeout";
+    case 413: return "Payload Too Large";
+    case 429: return "Too Many Requests";
+    case 499: return "Client Closed Request";  // the nginx code §6.2 cites
+    case 500: return "Internal Server Error";
+    case 502: return "Bad Gateway";
+    case 503: return "Service Unavailable";
+    case 504: return "Gateway Timeout";
+    default: return "Unknown";
+  }
+}
+
+inline std::string Response::serialize() const {
+  std::string out;
+  out.reserve(64 + body.size());
+  out += "HTTP/1.1 ";
+  out += std::to_string(status);
+  out += ' ';
+  out += reason_phrase(status);
+  out += "\r\n";
+  bool has_length = false;
+  for (const auto& [name, value] : headers) {
+    out += name;
+    out += ": ";
+    out += value;
+    out += "\r\n";
+    if (name.size() == 14) {
+      // cheap case-insensitive "content-length" check
+      static constexpr std::string_view kCl = "content-length";
+      bool match = true;
+      for (size_t i = 0; i < 14; ++i) {
+        const char c = name[i];
+        const char lower =
+            (c >= 'A' && c <= 'Z') ? static_cast<char>(c - 'A' + 'a') : c;
+        if (lower != kCl[i]) {
+          match = false;
+          break;
+        }
+      }
+      has_length = has_length || match;
+    }
+  }
+  if (!has_length) {
+    out += "Content-Length: ";
+    out += std::to_string(body.size());
+    out += "\r\n";
+  }
+  out += "\r\n";
+  out += body;
+  return out;
+}
+
+}  // namespace hermes::http

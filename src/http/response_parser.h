@@ -1,0 +1,88 @@
+// Client-side HTTP/1.1 response parsing — the other half of the live
+// demo's loop (the demo client reads workers' responses with this instead
+// of string scraping). One-shot: callers that buffer the full response
+// (short control-plane exchanges) parse in a single call.
+#pragma once
+
+#include <charconv>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "http/parser.h"  // HeaderMap
+
+namespace hermes::http {
+
+struct ParsedResponse {
+  int status = 0;
+  std::string reason;
+  HeaderMap headers;
+  std::string body;
+
+  std::optional<std::string_view> header(std::string_view name) const {
+    return headers.get(name);
+  }
+};
+
+// Parse a complete response. Returns nullopt on malformed input or when
+// the buffered body is shorter than Content-Length announces.
+inline std::optional<ParsedResponse> parse_response(std::string_view wire) {
+  ParsedResponse out;
+
+  // Status line: HTTP/1.x SP status SP reason CRLF
+  const size_t line_end = wire.find("\r\n");
+  if (line_end == std::string_view::npos) return std::nullopt;
+  std::string_view status_line = wire.substr(0, line_end);
+  if (!status_line.starts_with("HTTP/1.")) return std::nullopt;
+  const size_t sp1 = status_line.find(' ');
+  if (sp1 == std::string_view::npos) return std::nullopt;
+  const size_t sp2 = status_line.find(' ', sp1 + 1);
+  const std::string_view code = status_line.substr(
+      sp1 + 1, sp2 == std::string_view::npos ? std::string_view::npos
+                                             : sp2 - sp1 - 1);
+  if (std::from_chars(code.data(), code.data() + code.size(), out.status)
+          .ec != std::errc{} ||
+      out.status < 100 || out.status > 599) {
+    return std::nullopt;
+  }
+  if (sp2 != std::string_view::npos) {
+    out.reason = std::string{status_line.substr(sp2 + 1)};
+  }
+
+  // Headers until the blank line.
+  size_t pos = line_end + 2;
+  for (;;) {
+    const size_t eol = wire.find("\r\n", pos);
+    if (eol == std::string_view::npos) return std::nullopt;
+    if (eol == pos) {  // blank line: end of headers
+      pos += 2;
+      break;
+    }
+    const std::string_view line = wire.substr(pos, eol - pos);
+    const size_t colon = line.find(':');
+    if (colon == std::string_view::npos || colon == 0) return std::nullopt;
+    std::string_view value = line.substr(colon + 1);
+    while (!value.empty() && (value.front() == ' ' || value.front() == '\t')) {
+      value.remove_prefix(1);
+    }
+    out.headers.add(std::string{line.substr(0, colon)}, std::string{value});
+    pos = eol + 2;
+  }
+
+  // Body: Content-Length if present, else everything remaining.
+  const auto cl = out.headers.get("content-length");
+  if (cl) {
+    size_t want = 0;
+    if (std::from_chars(cl->data(), cl->data() + cl->size(), want).ec !=
+        std::errc{}) {
+      return std::nullopt;
+    }
+    if (wire.size() - pos < want) return std::nullopt;  // truncated
+    out.body = std::string{wire.substr(pos, want)};
+  } else {
+    out.body = std::string{wire.substr(pos)};
+  }
+  return out;
+}
+
+}  // namespace hermes::http

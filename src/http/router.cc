@@ -1,0 +1,54 @@
+#include "http/router.h"
+
+namespace hermes::http {
+
+bool RouteTable::host_matches(std::string_view pattern,
+                              std::string_view host) {
+  if (pattern.empty()) return true;
+  // Strip an optional :port from the Host header value.
+  const size_t colon = host.rfind(':');
+  if (colon != std::string_view::npos &&
+      host.find(':') == colon /* not IPv6 */) {
+    host = host.substr(0, colon);
+  }
+  if (pattern.starts_with("*.")) {
+    const std::string_view suffix = pattern.substr(1);  // ".example.com"
+    return host.size() > suffix.size() &&
+           HeaderMap::iequals(host.substr(host.size() - suffix.size()),
+                              suffix);
+  }
+  return HeaderMap::iequals(pattern, host);
+}
+
+bool RouteTable::path_matches(std::string_view pattern,
+                              std::string_view path) {
+  if (pattern.empty()) return true;
+  if (pattern.starts_with('=')) return path == pattern.substr(1);
+  return path.starts_with(pattern);
+}
+
+MatchResult RouteTable::match(const Request& req) const {
+  MatchResult result;
+  const std::string_view host = req.host().value_or("");
+  const Rule* best = nullptr;
+  size_t best_specificity = 0;
+  for (const Rule& r : rules_) {
+    ++result.rules_examined;
+    if (r.method && *r.method != req.method) continue;
+    if (!host_matches(r.host, host)) continue;
+    if (!path_matches(r.path_prefix, req.path)) continue;
+    // Specificity: exact host (2) > wildcard (1) > any (0), weighted above
+    // path-prefix length; first match wins ties.
+    const size_t host_score =
+        r.host.empty() ? 0 : (r.host.starts_with("*.") ? 1 : 2);
+    const size_t specificity = host_score * 100000 + r.path_prefix.size() + 1;
+    if (specificity > best_specificity) {
+      best_specificity = specificity;
+      best = &r;
+    }
+  }
+  result.rule = best;
+  return result;
+}
+
+}  // namespace hermes::http

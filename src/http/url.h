@@ -1,0 +1,78 @@
+// URL utilities: percent-decoding and query-string parsing (RFC 3986),
+// used by the policy control plane and anything routing on query params.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace hermes::http {
+
+inline int hex_digit(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+// Percent-decode `in`; '+' decodes to space when `form_encoding` is set
+// (application/x-www-form-urlencoded). Returns nullopt on malformed
+// escapes ("%g1", trailing "%2").
+inline std::optional<std::string> percent_decode(std::string_view in,
+                                                 bool form_encoding = false) {
+  std::string out;
+  out.reserve(in.size());
+  for (size_t i = 0; i < in.size(); ++i) {
+    const char c = in[i];
+    if (c == '%') {
+      if (i + 2 >= in.size()) return std::nullopt;  // truncated escape
+      const int hi = hex_digit(in[i + 1]);
+      const int lo = hex_digit(in[i + 2]);
+      if (hi < 0 || lo < 0) return std::nullopt;
+      out.push_back(static_cast<char>((hi << 4) | lo));
+      i += 2;
+    } else if (form_encoding && c == '+') {
+      out.push_back(' ');
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+// Parse "a=1&b=two%20words" into decoded (key, value) pairs. Malformed
+// escapes leave the raw text in place rather than dropping the pair.
+inline std::vector<std::pair<std::string, std::string>> parse_query(
+    std::string_view query) {
+  std::vector<std::pair<std::string, std::string>> out;
+  while (!query.empty()) {
+    const size_t amp = query.find('&');
+    std::string_view pair = query.substr(0, amp);
+    if (!pair.empty()) {
+      const size_t eq = pair.find('=');
+      std::string_view k = pair.substr(0, eq);
+      std::string_view v =
+          eq == std::string_view::npos ? std::string_view{} : pair.substr(eq + 1);
+      auto dk = percent_decode(k, /*form_encoding=*/true);
+      auto dv = percent_decode(v, /*form_encoding=*/true);
+      out.emplace_back(dk ? std::move(*dk) : std::string{k},
+                       dv ? std::move(*dv) : std::string{v});
+    }
+    if (amp == std::string_view::npos) break;
+    query.remove_prefix(amp + 1);
+  }
+  return out;
+}
+
+// First value for `key`, decoded.
+inline std::optional<std::string> query_param(std::string_view query,
+                                              std::string_view key) {
+  for (auto& [k, v] : parse_query(query)) {
+    if (k == key) return std::move(v);
+  }
+  return std::nullopt;
+}
+
+}  // namespace hermes::http

@@ -1,0 +1,73 @@
+// Connection 4-tuple and the kernel's jhash used for reuseport selection.
+//
+// The hash matters for fidelity: reuseport's "stateless hashing may perform
+// poorly under heavy-hitter traffic with hash collisions" (paper §2.2) is a
+// property of hashing real tuples, so we implement the same Jenkins
+// jhash_3words the kernel uses for inet_ehashfn-style socket selection.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+namespace hermes::netsim {
+
+struct FourTuple {
+  uint32_t saddr = 0;
+  uint32_t daddr = 0;
+  uint16_t sport = 0;
+  uint16_t dport = 0;
+
+  bool operator==(const FourTuple&) const = default;
+};
+
+// Bob Jenkins' jhash final mix, as in include/linux/jhash.h.
+namespace detail {
+inline uint32_t rol32(uint32_t x, int k) { return (x << k) | (x >> (32 - k)); }
+}  // namespace detail
+
+inline uint32_t jhash_3words(uint32_t a, uint32_t b, uint32_t c,
+                             uint32_t initval) {
+  constexpr uint32_t kGolden = 0xdeadbeef;
+  a += kGolden + (3u << 2) + initval;
+  b += kGolden + (3u << 2) + initval;
+  c += kGolden + (3u << 2) + initval;
+  c ^= b; c -= detail::rol32(b, 14);
+  a ^= c; a -= detail::rol32(c, 11);
+  b ^= a; b -= detail::rol32(a, 25);
+  c ^= b; c -= detail::rol32(b, 16);
+  a ^= c; a -= detail::rol32(c, 4);
+  b ^= a; b -= detail::rol32(a, 14);
+  c ^= b; c -= detail::rol32(b, 24);
+  return c;
+}
+
+// The 4-tuple hash a SYN carries into reuseport selection (and that the
+// eBPF context exposes as `hash`).
+inline uint32_t skb_hash(const FourTuple& t, uint32_t initval = 0) {
+  return jhash_3words(t.saddr, t.daddr,
+                      (static_cast<uint32_t>(t.sport) << 16) | t.dport,
+                      initval);
+}
+
+// Hash over (daddr, dport) only: consistent per destination service, used
+// for the cache-locality group selection of Appendix C / Fig. A6.
+inline uint32_t locality_hash(const FourTuple& t, uint32_t initval = 0) {
+  return jhash_3words(t.daddr, t.dport, 0x6c6f6361 /*"loca"*/, initval);
+}
+
+// reciprocal_scale(): map a u32 hash uniformly onto [0, n) without division
+// (include/linux/kernel.h). Used both by reuseport's default selection and
+// inside the Hermes dispatch program.
+inline uint32_t reciprocal_scale(uint32_t val, uint32_t ep_ro) {
+  return static_cast<uint32_t>(
+      (static_cast<uint64_t>(val) * ep_ro) >> 32);
+}
+
+}  // namespace hermes::netsim
+
+template <>
+struct std::hash<hermes::netsim::FourTuple> {
+  size_t operator()(const hermes::netsim::FourTuple& t) const noexcept {
+    return hermes::netsim::skb_hash(t, 0x9e3779b9);
+  }
+};

@@ -1,0 +1,51 @@
+// A listening socket: port binding, accept queue, wait queue, and a global
+// cookie used by the BPF_MAP_TYPE_REUSEPORT_SOCKARRAY map.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "netsim/accept_queue.h"
+#include "netsim/wait_queue.h"
+#include "util/types.h"
+
+namespace hermes::netsim {
+
+class ListeningSocket {
+ public:
+  ListeningSocket(PortId port, size_t backlog,
+                  WorkerId owner = kInvalidWorker)
+      : port_(port), owner_(owner), accept_queue_(backlog),
+        cookie_(next_cookie()) {}
+
+  ListeningSocket(const ListeningSocket&) = delete;
+  ListeningSocket& operator=(const ListeningSocket&) = delete;
+
+  PortId port() const { return port_; }
+
+  // In reuseport mode each socket belongs to exactly one worker; in
+  // shared-socket (exclusive) mode there is no owner.
+  WorkerId owner() const { return owner_; }
+
+  // Socket cookie: the opaque u64 identity stored in sockarray maps
+  // (like the kernel's sock_gen_cookie()).
+  uint64_t cookie() const { return cookie_; }
+
+  AcceptQueue& accept_queue() { return accept_queue_; }
+  const AcceptQueue& accept_queue() const { return accept_queue_; }
+  WaitQueue& wait_queue() { return wait_queue_; }
+
+ private:
+  static uint64_t next_cookie() {
+    static std::atomic<uint64_t> counter{1};
+    return counter.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  PortId port_;
+  WorkerId owner_;
+  AcceptQueue accept_queue_;
+  WaitQueue wait_queue_;
+  uint64_t cookie_;
+};
+
+}  // namespace hermes::netsim

@@ -1,0 +1,144 @@
+#include "netsim/netstack.h"
+
+#include "util/check.h"
+
+namespace hermes::netsim {
+
+NetStack::NetStack(Config cfg) : cfg_(cfg) {
+  HERMES_CHECK(cfg_.num_workers > 0);
+}
+
+void NetStack::add_port(PortId port) {
+  HERMES_CHECK_MSG(ports_.find(port) == ports_.end(), "port already bound");
+  PortEntry entry;
+  if (uses_per_worker_sockets(cfg_.mode)) {
+    entry.rp_group = std::make_unique<ReuseportGroup>(port);
+    entry.per_worker.reserve(cfg_.num_workers);
+    for (WorkerId w = 0; w < cfg_.num_workers; ++w) {
+      auto sock = std::make_unique<ListeningSocket>(port, cfg_.backlog, w);
+      entry.rp_group->add_socket(sock.get());
+      entry.per_worker.push_back(std::move(sock));
+    }
+    if (pending_prog_ != nullptr) {
+      entry.rp_group->attach_program(pending_vm_, pending_prog_);
+    }
+  } else {
+    entry.shared = std::make_unique<ListeningSocket>(port, cfg_.backlog);
+  }
+  ports_.emplace(port, std::move(entry));
+  port_order_.push_back(port);
+}
+
+void NetStack::register_waiter(Waiter* w) {
+  HERMES_CHECK_MSG(!uses_per_worker_sockets(cfg_.mode),
+                   "waiters only exist in shared-socket modes");
+  for (auto& [port, entry] : ports_) {
+    entry.shared->wait_queue().add(w);
+  }
+}
+
+void NetStack::attach_bpf(const bpf::Vm* vm, const bpf::LoadedProgram* prog) {
+  HERMES_CHECK_MSG(cfg_.mode == DispatchMode::HermesMode,
+                   "bpf program attach requires Hermes mode");
+  pending_vm_ = vm;
+  pending_prog_ = prog;
+  for (auto& [port, entry] : ports_) {
+    entry.rp_group->attach_program(vm, prog);
+  }
+}
+
+Connection* NetStack::on_connection_request(const FourTuple& tuple,
+                                            PortId port, TenantId tenant,
+                                            SimTime now) {
+  auto it = ports_.find(port);
+  HERMES_CHECK_MSG(it != ports_.end(), "SYN to unbound port");
+  PortEntry& entry = it->second;
+
+  ListeningSocket* sock = nullptr;
+  if (uses_per_worker_sockets(cfg_.mode)) {
+    sock = entry.rp_group->select(tuple);
+  } else {
+    sock = entry.shared.get();
+  }
+
+  auto conn = std::make_unique<Connection>();
+  conn->id = next_conn_id_++;
+  conn->tuple = tuple;
+  conn->port = port;
+  conn->tenant = tenant;
+  conn->created_at = now;
+  Connection* raw = conn.get();
+
+  if (!sock->accept_queue().push(raw)) {
+    ++stats_.drops;
+    return nullptr;  // SYN dropped: backlog overflow
+  }
+  conns_.emplace(raw->id, std::move(conn));
+  ++stats_.connections;
+
+  if (uses_per_worker_sockets(cfg_.mode)) {
+    // The owning worker's epoll reports the socket readable.
+    if (socket_ready_) socket_ready_(sock->owner(), *sock);
+  } else {
+    const WakePolicy policy =
+        cfg_.mode == DispatchMode::EpollWakeAll   ? WakePolicy::WakeAll
+        : cfg_.mode == DispatchMode::EpollRr      ? WakePolicy::ExclusiveRr
+        : cfg_.mode == DispatchMode::IoUringFifo  ? WakePolicy::ExclusiveFifo
+                                                  : WakePolicy::ExclusiveLifo;
+    const auto ws = sock->wait_queue().wake(*sock, policy);
+    stats_.wasted_wakeups += static_cast<uint64_t>(ws.wasted_wakeups);
+    if (ws.woken == 0) {
+      // All waiters busy: the event stays ready; the next epoll_wait
+      // caller will pick it up (kernel semantics, nothing lost).
+      ++stats_.unnotified;
+    }
+  }
+  return raw;
+}
+
+Connection* NetStack::accept(ListeningSocket& sock, WorkerId worker) {
+  Connection* c = sock.accept_queue().pop();
+  if (c == nullptr) return nullptr;
+  c->state = ConnState::Accepted;
+  c->owner = worker;
+  return c;
+}
+
+void NetStack::close(Connection* c) {
+  HERMES_CHECK(c != nullptr);
+  c->state = ConnState::Closed;
+  conns_.erase(c->id);  // destroys *c
+}
+
+ListeningSocket* NetStack::shared_socket(PortId port) {
+  auto it = ports_.find(port);
+  return it == ports_.end() ? nullptr : it->second.shared.get();
+}
+
+ListeningSocket* NetStack::worker_socket(PortId port, WorkerId worker) {
+  auto it = ports_.find(port);
+  if (it == ports_.end() || it->second.per_worker.size() <= worker) {
+    return nullptr;
+  }
+  return it->second.per_worker[worker].get();
+}
+
+ReuseportGroup* NetStack::group(PortId port) {
+  auto it = ports_.find(port);
+  return it == ports_.end() ? nullptr : it->second.rp_group.get();
+}
+
+std::vector<ListeningSocket*> NetStack::sockets_of(WorkerId worker) {
+  std::vector<ListeningSocket*> out;
+  for (PortId port : port_order_) {
+    PortEntry& entry = ports_.at(port);
+    if (uses_per_worker_sockets(cfg_.mode)) {
+      out.push_back(entry.per_worker[worker].get());
+    } else {
+      out.push_back(entry.shared.get());
+    }
+  }
+  return out;
+}
+
+}  // namespace hermes::netsim

@@ -1,0 +1,122 @@
+// Socket wait queue with the kernel's wakeup disciplines.
+//
+// This is where epoll exclusive's load imbalance comes from, so the model is
+// deliberately exact (paper §2.2, Fig. A2):
+//   * epoll_ctl() adds the waiter at the HEAD of the list
+//     (add_wait_queue() on the socket's wq), so the most recently registered
+//     worker sits first;
+//   * a socket event walks the list from the head and, with
+//     WQ_FLAG_EXCLUSIVE, stops after the first waiter that accepts the
+//     wakeup (i.e. is idle in epoll_wait) — the LIFO behaviour;
+//   * epoll rr (the unmerged community patch) additionally rotates the
+//     woken waiter to the tail, giving FIFO fairness;
+//   * WakeAll models pre-4.5 epoll: every waiter wakes (thundering herd),
+//     all but one find the queue empty and burn a wasted wakeup.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <list>
+
+#include "util/check.h"
+
+namespace hermes::netsim {
+
+class ListeningSocket;
+
+// A waiter is a worker blocked in epoll_wait. try_wake() returns true if the
+// waiter was idle and consumed the wakeup (it will call accept() soon);
+// false if it is busy processing and cannot take the event now.
+class Waiter {
+ public:
+  virtual ~Waiter() = default;
+  virtual bool try_wake(ListeningSocket& source) = 0;
+};
+
+enum class WakePolicy : uint8_t {
+  WakeAll,        // pre-4.5 epoll: thundering herd
+  ExclusiveLifo,  // EPOLLEXCLUSIVE as merged in Linux 4.5
+  ExclusiveRr,    // EPOLL_ROUNDROBIN community patch (never merged)
+  ExclusiveFifo,  // io_uring-style fixed FIFO wakeup order (paper §8)
+};
+
+class WaitQueue {
+ public:
+  // epoll_ctl(EPOLL_CTL_ADD): prepend, as add_wait_queue() does.
+  void add(Waiter* w) {
+    HERMES_DCHECK(w != nullptr);
+    waiters_.push_front(w);
+  }
+
+  void remove(Waiter* w) { waiters_.remove(w); }
+
+  size_t size() const { return waiters_.size(); }
+
+  struct WakeStats {
+    int woken = 0;          // waiters that accepted the wakeup
+    int wasted_wakeups = 0; // woken but had nothing to do (herd overhead)
+  };
+
+  // A socket state change (connection queued). Returns wakeup accounting.
+  WakeStats wake(ListeningSocket& source, WakePolicy policy) {
+    WakeStats stats;
+    switch (policy) {
+      case WakePolicy::WakeAll: {
+        // Every waiter is woken; only the first idle one will win the
+        // accept() race, the rest are wasted wakeups.
+        bool winner_found = false;
+        for (Waiter* w : waiters_) {
+          if (w->try_wake(source)) {
+            if (winner_found) {
+              ++stats.wasted_wakeups;
+            } else {
+              winner_found = true;
+              ++stats.woken;
+            }
+          }
+        }
+        break;
+      }
+      case WakePolicy::ExclusiveLifo: {
+        for (Waiter* w : waiters_) {
+          if (w->try_wake(source)) {
+            ++stats.woken;
+            break;  // WQ_FLAG_EXCLUSIVE: stop at the first success
+          }
+        }
+        break;
+      }
+      case WakePolicy::ExclusiveFifo: {
+        // io_uring's interrupt mode wakes in fixed FIFO (registration)
+        // order: traverse from the tail, i.e. the OLDEST registration.
+        for (auto it = waiters_.rbegin(); it != waiters_.rend(); ++it) {
+          if ((*it)->try_wake(source)) {
+            ++stats.woken;
+            break;
+          }
+        }
+        break;
+      }
+      case WakePolicy::ExclusiveRr: {
+        for (auto it = waiters_.begin(); it != waiters_.end(); ++it) {
+          if ((*it)->try_wake(source)) {
+            ++stats.woken;
+            // Rotate the woken waiter to the tail so the next wakeup
+            // prefers somebody else.
+            Waiter* w = *it;
+            waiters_.erase(it);
+            waiters_.push_back(w);
+            break;
+          }
+        }
+        break;
+      }
+    }
+    return stats;
+  }
+
+ private:
+  std::list<Waiter*> waiters_;
+};
+
+}  // namespace hermes::netsim

@@ -1,0 +1,88 @@
+#include "shm/shm_region.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <system_error>
+#include <utility>
+
+namespace hermes::shm {
+
+namespace {
+
+[[noreturn]] void throw_errno(const char* what) {
+  throw std::system_error(errno, std::generic_category(), what);
+}
+
+}  // namespace
+
+ShmRegion ShmRegion::create(const std::string& name, size_t size) {
+  ::shm_unlink(name.c_str());  // replace any stale region from a crashed run
+  const int fd = ::shm_open(name.c_str(), O_CREAT | O_EXCL | O_RDWR, 0600);
+  if (fd < 0) throw_errno("shm_open(create)");
+  if (::ftruncate(fd, static_cast<off_t>(size)) != 0) {
+    ::close(fd);
+    ::shm_unlink(name.c_str());
+    throw_errno("ftruncate");
+  }
+  void* addr =
+      ::mmap(nullptr, size, PROT_READ | PROT_WRITE, MAP_SHARED, fd, 0);
+  ::close(fd);
+  if (addr == MAP_FAILED) {
+    ::shm_unlink(name.c_str());
+    throw_errno("mmap");
+  }
+  return ShmRegion{addr, size, name, /*owner=*/true};
+}
+
+ShmRegion ShmRegion::open(const std::string& name, size_t size) {
+  const int fd = ::shm_open(name.c_str(), O_RDWR, 0600);
+  if (fd < 0) throw_errno("shm_open(open)");
+  void* addr =
+      ::mmap(nullptr, size, PROT_READ | PROT_WRITE, MAP_SHARED, fd, 0);
+  ::close(fd);
+  if (addr == MAP_FAILED) throw_errno("mmap");
+  return ShmRegion{addr, size, name, /*owner=*/false};
+}
+
+ShmRegion ShmRegion::create_anonymous(size_t size) {
+  void* addr = ::mmap(nullptr, size, PROT_READ | PROT_WRITE,
+                      MAP_SHARED | MAP_ANONYMOUS, -1, 0);
+  if (addr == MAP_FAILED) throw_errno("mmap(anonymous)");
+  return ShmRegion{addr, size, std::string{}, /*owner=*/true};
+}
+
+ShmRegion::~ShmRegion() {
+  if (addr_ != nullptr) {
+    ::munmap(addr_, size_);
+    if (owner_ && !name_.empty()) ::shm_unlink(name_.c_str());
+  }
+}
+
+ShmRegion::ShmRegion(ShmRegion&& o) noexcept
+    : addr_(std::exchange(o.addr_, nullptr)),
+      size_(std::exchange(o.size_, 0)),
+      name_(std::move(o.name_)),
+      owner_(std::exchange(o.owner_, false)) {
+  o.name_.clear();
+}
+
+ShmRegion& ShmRegion::operator=(ShmRegion&& o) noexcept {
+  if (this != &o) {
+    this->~ShmRegion();
+    new (this) ShmRegion(std::move(o));
+  }
+  return *this;
+}
+
+void ShmRegion::unlink() {
+  if (!name_.empty()) {
+    ::shm_unlink(name_.c_str());
+    owner_ = false;
+  }
+}
+
+}  // namespace hermes::shm

@@ -1,0 +1,54 @@
+// RAII POSIX shared-memory region.
+//
+// The Worker Status Table (core/wst.h) is placement-constructed into one of
+// these so that real fork()ed worker processes share it, exactly as the
+// paper's deployment does. Single-process users (the simulator) can instead
+// use an in-heap buffer; the WST code is agnostic to where its bytes live.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace hermes::shm {
+
+class ShmRegion {
+ public:
+  ShmRegion() = default;
+
+  // Create (or replace) a named region of `size` bytes, zero-initialized.
+  // Throws std::system_error on failure.
+  static ShmRegion create(const std::string& name, size_t size);
+
+  // Open an existing named region.
+  static ShmRegion open(const std::string& name, size_t size);
+
+  // Anonymous region (MAP_SHARED | MAP_ANONYMOUS): shared with children
+  // created by a later fork(), which is all the multi-process tests need and
+  // avoids /dev/shm name management.
+  static ShmRegion create_anonymous(size_t size);
+
+  ~ShmRegion();
+
+  ShmRegion(ShmRegion&& o) noexcept;
+  ShmRegion& operator=(ShmRegion&& o) noexcept;
+  ShmRegion(const ShmRegion&) = delete;
+  ShmRegion& operator=(const ShmRegion&) = delete;
+
+  void* data() const { return addr_; }
+  size_t size() const { return size_; }
+  bool valid() const { return addr_ != nullptr; }
+
+  // Unlink the backing name (named regions only); mapping stays valid.
+  void unlink();
+
+ private:
+  ShmRegion(void* addr, size_t size, std::string name, bool owner)
+      : addr_(addr), size_(size), name_(std::move(name)), owner_(owner) {}
+
+  void* addr_ = nullptr;
+  size_t size_ = 0;
+  std::string name_;  // empty for anonymous regions
+  bool owner_ = false;
+};
+
+}  // namespace hermes::shm

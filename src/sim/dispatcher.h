@@ -1,0 +1,120 @@
+// Userspace dispatcher baseline (paper §2.2): a dedicated process sits on
+// the shared listening sockets, accept()s every new connection, and hands
+// it to a backend worker under a fair policy (round-robin here). Common in
+// database systems (PostgreSQL-style), but — as the paper argues — a
+// network LB's dispatcher sits on the critical path and saturates under
+// high CPS: its single core caps the whole device's connection rate.
+//
+// The dispatcher consumes one core; serving workers are ids 1..N-1.
+#pragma once
+
+#include <functional>
+
+#include "netsim/netstack.h"
+#include "simcore/event_queue.h"
+#include "util/types.h"
+
+namespace hermes::sim {
+
+class Dispatcher final : public netsim::Waiter {
+ public:
+  struct Config {
+    // Per-connection cost on the dispatcher's core: accept() + picking a
+    // worker + handing the fd over (pipe/queue write + wakeup).
+    SimTime dispatch_cost = SimTime::micros(18);
+    SimTime wakeup_cost = SimTime::micros(2);
+    SimTime idle_timeout = SimTime::millis(5);
+    int max_batch = 64;
+  };
+
+  // Forward an accepted connection to worker `target`.
+  using ForwardFn = std::function<void(WorkerId, netsim::Connection*)>;
+
+  Dispatcher(Config cfg, EventQueue& eq, netsim::NetStack& ns,
+             uint32_t num_serving_workers, ForwardFn forward)
+      : cfg_(cfg), eq_(eq), ns_(ns),
+        num_serving_(num_serving_workers), forward_(std::move(forward)) {}
+
+  void attach_sockets() { sockets_ = ns_.sockets_of(0); }
+
+  void start() {
+    ns_.register_waiter(this);
+    block();
+  }
+
+  bool try_wake(netsim::ListeningSocket&) override {
+    if (state_ != State::Blocked) return false;
+    state_ = State::Woken;
+    eq_.cancel(timeout_);
+    eq_.schedule_after(SimTime::zero(), [this] { run(); });
+    return true;
+  }
+
+  SimTime busy_time() const { return busy_time_; }
+  uint64_t dispatched() const { return dispatched_; }
+
+ private:
+  enum class State : uint8_t { Blocked, Woken, Running };
+
+  void block() {
+    state_ = State::Blocked;
+    timeout_ = eq_.schedule_after(cfg_.idle_timeout, [this] {
+      state_ = State::Woken;
+      run();
+    });
+  }
+
+  void run() {
+    state_ = State::Running;
+    busy_time_ += cfg_.wakeup_cost;
+    // Drain up to a batch of pending connections across all ports,
+    // charging the per-connection dispatch cost serially (the critical
+    // path that makes the dispatcher the bottleneck).
+    int taken = 0;
+    SimTime spent = cfg_.wakeup_cost;
+    for (netsim::ListeningSocket* sock : sockets_) {
+      while (taken < cfg_.max_batch && !sock->accept_queue().empty()) {
+        netsim::Connection* conn = ns_.accept(*sock, next_worker_);
+        if (conn == nullptr) break;
+        pending_.push_back({conn, next_worker_});
+        next_worker_ = 1 + (next_worker_ % num_serving_);  // RR over 1..N-1
+        ++taken;
+        spent += cfg_.dispatch_cost;
+      }
+      if (taken >= cfg_.max_batch) break;
+    }
+    busy_time_ += spent - cfg_.wakeup_cost;
+    dispatched_ += static_cast<uint64_t>(taken);
+
+    // Deliver after the dispatch processing time has elapsed.
+    eq_.schedule_after(spent, [this] {
+      for (auto& [conn, target] : pending_) forward_(target, conn);
+      pending_.clear();
+      // More queued? immediately re-run; else block.
+      for (netsim::ListeningSocket* sock : sockets_) {
+        if (!sock->accept_queue().empty()) {
+          eq_.schedule_after(SimTime::zero(), [this] { run(); });
+          state_ = State::Woken;
+          return;
+        }
+      }
+      block();
+    });
+  }
+
+  Config cfg_;
+  EventQueue& eq_;
+  netsim::NetStack& ns_;
+  uint32_t num_serving_;
+  ForwardFn forward_;
+
+  std::vector<netsim::ListeningSocket*> sockets_;
+  std::vector<std::pair<netsim::Connection*, WorkerId>> pending_;
+  State state_ = State::Running;
+  EventQueue::Handle timeout_{};
+  WorkerId next_worker_ = 1;
+  SimTime busy_time_{};
+  uint64_t dispatched_ = 0;
+};
+
+}  // namespace hermes::sim

@@ -1,0 +1,124 @@
+// Multi-device cluster harness: several LbDevices behind an L4 layer that
+// sprays connections by 5-tuple hash (ECMP/NAT, paper Fig. 1), with
+// support for canary releases — draining devices stop receiving NEW
+// connections while existing ones age out, exactly the rollout mechanics
+// behind Fig. 11's residual-probe tail — and per-tenant sandbox isolation
+// (Appendix C, exception case 2: abusive tenants are "migrated to a
+// sandbox, enabling physical isolation").
+//
+// Each LbDevice keeps its own event queue; devices only interact through
+// the arrival process, so the cluster advances them in bounded lockstep.
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/lb.h"
+
+namespace hermes::sim {
+
+class MultiLbCluster {
+ public:
+  struct DeviceSpec {
+    netsim::DispatchMode mode;
+    uint64_t seed;
+  };
+
+  MultiLbCluster(const std::vector<DeviceSpec>& specs,
+                 const LbDevice::Config& base) {
+    for (const auto& spec : specs) {
+      LbDevice::Config cfg = base;
+      cfg.mode = spec.mode;
+      cfg.seed = spec.seed;
+      devices_.push_back(std::make_unique<LbDevice>(cfg));
+      draining_.push_back(false);
+    }
+    rng_ = std::make_unique<Rng>(base.seed ^ 0x5a5a5a5aull);
+  }
+
+  size_t size() const { return devices_.size(); }
+  LbDevice& device(size_t i) { return *devices_[i]; }
+  bool draining(size_t i) const { return draining_[i]; }
+
+  // Canary: stop routing NEW connections to device i (existing ones keep
+  // running until they close).
+  void start_draining(size_t i) { draining_[i] = true; }
+  // Sandbox isolation (Appendix C): pin a tenant's NEW connections to one
+  // device (usually a draining-from-rotation sandbox), away from everyone
+  // else. Existing connections can be shed via the device's degradation /
+  // close_fraction machinery.
+  void migrate_tenant(TenantId tenant, size_t device) {
+    HERMES_CHECK(device < devices_.size());
+    tenant_pins_[tenant] = device;
+  }
+  void unpin_tenant(TenantId tenant) { tenant_pins_.erase(tenant); }
+  bool tenant_pinned(TenantId tenant) const {
+    return tenant_pins_.count(tenant) > 0;
+  }
+  // Bring a device (back) into the L4 rotation.
+  void stop_draining(size_t i) { draining_[i] = false; }
+
+  // L4 front door: route one connection to a non-draining device by hash
+  // (per-connection consistent, like ECMP + NAT). Returns the device index
+  // or SIZE_MAX if every device is draining.
+  size_t route(uint32_t flow_hash) const {
+    uint32_t active = 0;
+    for (bool d : draining_) active += d ? 0 : 1;
+    if (active == 0) return SIZE_MAX;
+    uint32_t idx = netsim::reciprocal_scale(flow_hash, active);
+    for (size_t i = 0; i < devices_.size(); ++i) {
+      if (draining_[i]) continue;
+      if (idx == 0) return i;
+      --idx;
+    }
+    return SIZE_MAX;
+  }
+
+  // Open a connection through the L4 layer. Returns the device chosen.
+  size_t open_connection(TenantId tenant, const LbDevice::ConnPlan& plan) {
+    size_t dev;
+    const auto pin = tenant_pins_.find(tenant);
+    if (pin != tenant_pins_.end()) {
+      dev = pin->second;  // sandboxed tenant: bypass the normal rotation
+    } else {
+      dev = route(static_cast<uint32_t>(rng_->next_u64()));
+    }
+    if (dev != SIZE_MAX) devices_[dev]->open_connection(tenant, plan);
+    return dev;
+  }
+
+  // Advance every device's clock to `until` in `step`-sized slices so
+  // cross-device observation points (sampling, probes) stay aligned.
+  void run_until(SimTime until, SimTime step = SimTime::millis(100)) {
+    SimTime t = now_;
+    while (t < until) {
+      t = std::min(until, t + step);
+      for (auto& d : devices_) d->eq().run_until(t);
+      now_ = t;
+    }
+  }
+
+  SimTime now() const { return now_; }
+
+  // Cluster-wide aggregates.
+  uint64_t total_completed() const {
+    uint64_t sum = 0;
+    for (const auto& d : devices_) sum += d->totals().requests_completed;
+    return sum;
+  }
+  uint64_t total_live_connections() const {
+    uint64_t sum = 0;
+    for (const auto& d : devices_) sum += d->live_connections();
+    return sum;
+  }
+
+ private:
+  std::vector<std::unique_ptr<LbDevice>> devices_;
+  std::vector<bool> draining_;
+  std::unordered_map<TenantId, size_t> tenant_pins_;
+  std::unique_ptr<Rng> rng_;
+  SimTime now_{};
+};
+
+}  // namespace hermes::sim

@@ -1,0 +1,77 @@
+// Availability probing (paper §6.2, Fig. 11): periodic tiny requests sent
+// through the LB; a probe whose end-to-end delay exceeds 200 ms counts as
+// "delayed" — the paper's hung-worker detection signal.
+//
+// Each probe carries its own 200 ms deadline: a probe that is still stuck
+// in a hung worker's accept queue when the deadline passes is delayed even
+// though it never completed (silence is failure, not success).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <unordered_set>
+
+#include "sim/lb.h"
+
+namespace hermes::sim {
+
+class Prober {
+ public:
+  struct Config {
+    SimTime period = SimTime::millis(50);
+    SimTime deadline = SimTime::millis(200);   // paper's SLO
+    SimTime probe_cost = SimTime::micros(50);  // LB has no probe logic: tiny
+    TenantId tenant = 0;
+  };
+
+  Prober(LbDevice& lb, Config cfg) : lb_(lb), cfg_(cfg) {
+    lb_.set_probe_done_fn([this](netsim::ConnId id, SimTime latency) {
+      if (outstanding_.erase(id) > 0 && latency > cfg_.deadline) {
+        ++delayed_;
+      }
+    });
+  }
+
+  void start(SimTime until) {
+    auto tick = std::make_shared<std::function<void()>>();
+    *tick = [this, until, tick] {
+      send_probe();
+      if (lb_.eq().now() + cfg_.period <= until) {
+        lb_.eq().schedule_after(cfg_.period, *tick);
+      }
+    };
+    lb_.eq().schedule_after(cfg_.period, *tick);
+  }
+
+  void send_probe() {
+    LbDevice::ConnPlan plan;
+    plan.tenant = cfg_.tenant;
+    plan.remaining = 1;
+    plan.cost_us = DistSpec::constant(cfg_.probe_cost.us_f());
+    plan.bytes = DistSpec::constant(64);
+    plan.is_probe = true;
+    ++probes_sent_;
+    const netsim::ConnId id = lb_.open_connection(cfg_.tenant, plan);
+    if (id == 0) {
+      ++delayed_;  // SYN dropped: the probe will never be answered
+      return;
+    }
+    outstanding_.insert(id);
+    lb_.eq().schedule_after(cfg_.deadline, [this, id] {
+      // Still unanswered past the deadline: delayed, whatever happens later.
+      if (outstanding_.erase(id) > 0) ++delayed_;
+    });
+  }
+
+  uint64_t probes_sent() const { return probes_sent_; }
+  uint64_t delayed() const { return delayed_; }
+
+ private:
+  LbDevice& lb_;
+  Config cfg_;
+  std::unordered_set<netsim::ConnId> outstanding_;
+  uint64_t probes_sent_ = 0;
+  uint64_t delayed_ = 0;
+};
+
+}  // namespace hermes::sim

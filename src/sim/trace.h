@@ -1,0 +1,73 @@
+// Trace capture and replay — the paper's evaluation methodology: "we
+// collected and replayed traffic from them. Additionally, we replayed
+// traffic at 2 to 3 times the original rate" (§6.2).
+//
+// A trace is a text file, one connection per line:
+//
+//   # offset_us tenant requests cost_us bytes gap_us
+//   1523 7 3 2400.5 8192 30000
+//
+// TraceRecorder samples a TrafficPattern into a trace (or you capture one
+// from any source); TraceReplayer schedules it into an LbDevice with a
+// rate multiplier — at 2x, inter-arrival offsets halve, per-connection
+// content is unchanged, exactly like replaying a pcap faster.
+#pragma once
+
+#include <cstdint>
+#include <istream>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "sim/lb.h"
+#include "sim/workload.h"
+
+namespace hermes::sim {
+
+struct TraceEntry {
+  int64_t offset_us = 0;  // arrival offset from trace start
+  TenantId tenant = 0;
+  int requests = 1;
+  double cost_us = 200;   // per-request CPU cost (sampled at capture time)
+  uint64_t bytes = 600;
+  double gap_us = 10'000; // think time between requests
+};
+
+class Trace {
+ public:
+  void add(TraceEntry e) { entries_.push_back(e); }
+  size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+  const TraceEntry& operator[](size_t i) const { return entries_[i]; }
+  const std::vector<TraceEntry>& entries() const { return entries_; }
+
+  // Total duration (offset of the last arrival).
+  SimTime duration() const {
+    return entries_.empty() ? SimTime::zero()
+                            : SimTime::micros(entries_.back().offset_us);
+  }
+
+  // --- serialization ---------------------------------------------------
+  void save(std::ostream& os) const;
+  // Parses the textual format; returns false on malformed input.
+  static bool load(std::istream& is, Trace* out);
+
+  // --- capture -----------------------------------------------------------
+  // Sample `duration` worth of a TrafficPattern into a trace (Poisson
+  // arrivals, per-connection request plans fixed at capture time).
+  static Trace record(const TrafficPattern& pattern, SimTime duration,
+                      uint32_t tenant_span, Rng& rng);
+
+ private:
+  std::vector<TraceEntry> entries_;
+};
+
+class TraceReplayer {
+ public:
+  // Schedule every connection of `trace` into `lb`, starting at the LB's
+  // current time, with arrival offsets divided by `rate` (2.0 = the
+  // paper's "medium", 3.0 = "heavy" replay).
+  static void replay(const Trace& trace, LbDevice& lb, double rate = 1.0);
+};
+
+}  // namespace hermes::sim

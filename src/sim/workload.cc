@@ -1,0 +1,142 @@
+#include "sim/workload.h"
+
+#include "util/check.h"
+
+namespace hermes::sim {
+
+double DistSpec::sample(Rng& rng) const {
+  switch (kind) {
+    case Kind::Const: return a;
+    case Kind::Uniform: return rng.uniform(a, b);
+    case Kind::Exp: return rng.exponential(a);
+    case Kind::Lognormal: return rng.lognormal(std::log(a), b);
+    case Kind::ParetoBounded: return rng.bounded_pareto(a, b, c);
+  }
+  return a;
+}
+
+// The four cases, scaled so a `workers`-core LB runs at roughly 25-30% total
+// CPU at load=1 and approaches/exceeds saturation at load=3, mirroring the
+// paper's light/medium/heavy replay.
+TrafficPattern case_pattern(int case_id, uint32_t workers, double load) {
+  HERMES_CHECK(case_id >= 1 && case_id <= 4);
+  const double w = static_cast<double>(workers);
+  TrafficPattern p;
+  switch (case_id) {
+    case 1:
+      // High CPS, low processing time: stress tests / traffic spikes.
+      p.name = "case1-hiCPS-loPT";
+      p.cps = 2000.0 * w * load;
+      p.requests_per_conn = DistSpec::constant(1);
+      p.request_cost_us = DistSpec::lognormal(140, 0.35);
+      p.request_bytes = DistSpec::lognormal(400, 0.6);
+      break;
+    case 2:
+      // High CPS, high processing time: spikes of compression-heavy work.
+      p.name = "case2-hiCPS-hiPT";
+      p.cps = 32.0 * w * load;
+      p.requests_per_conn = DistSpec::uniform(3, 6);
+      p.request_cost_us = DistSpec::lognormal(1100, 0.8);
+      p.request_bytes = DistSpec::lognormal(8000, 0.8);
+      p.request_gap_us = DistSpec::exponential(40'000);
+      // Compression-like wedges: rare requests that pin a core for 100s of
+      // ms — the "busy or hung state" §6.2 attributes to this case.
+      p.poison_fraction = 0.003;
+      p.poison_cost_us = DistSpec::uniform(100'000, 500'000);
+      break;
+    case 3:
+      // Low CPS, low processing time, long-lived connections: finance/chat.
+      p.name = "case3-loCPS-loPT";
+      p.cps = 28.0 * w * load;
+      p.requests_per_conn = DistSpec::uniform(60, 140);
+      p.request_cost_us = DistSpec::lognormal(110, 0.4);
+      p.request_bytes = DistSpec::lognormal(500, 0.7);
+      p.request_gap_us = DistSpec::exponential(100'000);
+      break;
+    case 4:
+      // Low CPS, high processing time: TLS handshakes + regex routing.
+      p.name = "case4-loCPS-hiPT";
+      p.cps = 14.0 * w * load;
+      p.requests_per_conn = DistSpec::uniform(3, 7);
+      p.request_cost_us = DistSpec::lognormal(2400, 1.1);
+      p.request_bytes = DistSpec::lognormal(3000, 0.8);
+      p.request_gap_us = DistSpec::exponential(30'000);
+      // SSL/regex outliers that wedge a core (paper: 30ms -> 440s hangs).
+      p.poison_fraction = 0.002;
+      p.poison_cost_us = DistSpec::uniform(150'000, 800'000);
+      break;
+  }
+  return p;
+}
+
+std::vector<RegionMix> paper_region_mixes() {
+  // Table 4 of the paper.
+  return {
+      {"Region1", {0.1945, 0.0055, 0.6561, 0.1439}},
+      {"Region2", {0.0077, 0.0783, 0.0927, 0.8213}},
+      {"Region3", {0.0660, 0.0290, 0.6080, 0.2970}},
+      {"Region4", {0.0281, 0.0741, 0.8907, 0.0071}},
+  };
+}
+
+std::vector<RegionTraffic> paper_region_traffic() {
+  // Calibrated against Table 1's P50/P90/P99 shape: a lognormal body plus a
+  // WebSocket-style bounded-Pareto tail where the region needs one.
+  return {
+      {"Region1",
+       /*bytes*/ DistSpec::lognormal(243, 0.22),
+       /*ms*/ DistSpec::lognormal(2.0, 1.18),
+       /*ws frac*/ 0.015,
+       /*ws bytes*/ DistSpec::pareto(1.1, 1800, 30'000),
+       /*ws ms*/ DistSpec::pareto(1.2, 20, 300)},
+      {"Region2",
+       DistSpec::lognormal(831, 1.12),
+       DistSpec::lognormal(10.0, 1.60),
+       0.014,
+       DistSpec::pareto(1.2, 6000, 40'000),
+       DistSpec::pareto(0.30, 3000, 200'000)},
+      {"Region3",
+       DistSpec::lognormal(566, 0.97),
+       DistSpec::lognormal(3.0, 1.45),
+       0.105,
+       DistSpec::pareto(0.55, 800, 300'000),
+       DistSpec::pareto(0.38, 250, 300'000)},
+      {"Region4",
+       DistSpec::lognormal(721, 0.36),
+       DistSpec::lognormal(4.0, 1.0),
+       0.012,
+       DistSpec::pareto(1.1, 4000, 25'000),
+       DistSpec::pareto(0.9, 150, 3000)},
+  };
+}
+
+TenantModel TenantModel::from_mix(const RegionMix& mix, uint32_t num_tenants,
+                                  double skew) {
+  TenantModel tm;
+  tm.num_tenants = num_tenants;
+  tm.zipf_skew = skew;
+  tm.tenant_case.resize(num_tenants);
+
+  // Zipf share of each tenant rank; assign tenants to cases greedily so the
+  // cumulative per-case share tracks the region mix.
+  ZipfSampler zipf(num_tenants, skew);
+  double assigned[4] = {};
+  for (uint32_t t = 0; t < num_tenants; ++t) {
+    const double share = zipf.pmf(t);
+    // Pick the case with the largest remaining deficit.
+    int best = 0;
+    double best_deficit = -1e9;
+    for (int c = 0; c < 4; ++c) {
+      const double deficit = mix.case_share[c] - assigned[c];
+      if (deficit > best_deficit) {
+        best_deficit = deficit;
+        best = c;
+      }
+    }
+    tm.tenant_case[t] = best + 1;  // case ids are 1-based
+    assigned[best] += share;
+  }
+  return tm;
+}
+
+}  // namespace hermes::sim

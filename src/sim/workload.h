@@ -1,0 +1,94 @@
+// Workload generation: the four traffic cases of Table 3, region mixes of
+// Tables 1/4, tenant skew, long-lived-connection surges (Fig. 3), and
+// hang-prone poison traffic (Fig. 11).
+//
+// All randomness flows from the owning simulation's Rng, so a (seed,
+// pattern) pair reproduces a workload exactly.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "simcore/rng.h"
+#include "util/types.h"
+
+namespace hermes::sim {
+
+// A small algebra of sampling distributions, configurable per pattern.
+struct DistSpec {
+  enum class Kind : uint8_t { Const, Uniform, Exp, Lognormal, ParetoBounded };
+  Kind kind = Kind::Const;
+  // Const: a. Uniform: [a, b]. Exp: mean a. Lognormal: median a, sigma b.
+  // ParetoBounded: shape a, lo b, hi c.
+  double a = 0, b = 0, c = 0;
+
+  static DistSpec constant(double v) { return {Kind::Const, v, 0, 0}; }
+  static DistSpec uniform(double lo, double hi) {
+    return {Kind::Uniform, lo, hi, 0};
+  }
+  static DistSpec exponential(double mean) { return {Kind::Exp, mean, 0, 0}; }
+  static DistSpec lognormal(double median, double sigma) {
+    return {Kind::Lognormal, median, sigma, 0};
+  }
+  static DistSpec pareto(double shape, double lo, double hi) {
+    return {Kind::ParetoBounded, shape, lo, hi};
+  }
+
+  double sample(Rng& rng) const;
+};
+
+// One tenant class's traffic description.
+struct TrafficPattern {
+  std::string name;
+  double cps = 1000;                  // new connections per second (Poisson)
+  DistSpec requests_per_conn = DistSpec::constant(1);
+  DistSpec request_cost_us = DistSpec::lognormal(200, 0.5);
+  DistSpec request_bytes = DistSpec::lognormal(600, 1.0);
+  DistSpec request_gap_us = DistSpec::exponential(10'000);  // within a conn
+  // WebSocket-ish share: single long-lived request with huge size/cost tail
+  // (paper Table 1, Region3).
+  double websocket_fraction = 0;
+  DistSpec websocket_cost_us = DistSpec::pareto(1.1, 5'000, 50'000'000);
+  // Poison share: requests that wedge the worker (Appendix C case 1).
+  double poison_fraction = 0;
+  DistSpec poison_cost_us = DistSpec::uniform(300'000, 2'000'000);
+};
+
+// The paper's four canonical cases (§6.2, Table 3), scaled to a simulated
+// LB with `workers` cores. `load` is the replay multiplier: 1 = light,
+// 2 = medium, 3 = heavy (the paper replays captured traffic at 2-3x).
+TrafficPattern case_pattern(int case_id, uint32_t workers, double load);
+
+// Region mixes (Table 4): fraction of each case's traffic per region.
+struct RegionMix {
+  std::string name;
+  double case_share[4];  // shares of cases 1..4, sum 1
+};
+std::vector<RegionMix> paper_region_mixes();
+
+// Table 1-style generators: per-region request size / processing time.
+struct RegionTraffic {
+  std::string name;
+  DistSpec request_bytes;
+  DistSpec processing_ms;
+  double websocket_fraction;
+  DistSpec websocket_bytes;
+  DistSpec websocket_ms;
+};
+std::vector<RegionTraffic> paper_region_traffic();
+
+// Multi-tenant production-like mix: tenants drawn Zipf-skewed across ports,
+// each tenant pinned to one case pattern.
+struct TenantModel {
+  uint32_t num_tenants = 64;
+  double zipf_skew = 1.2;
+  // Tenant index -> which case pattern it runs (assigned round-robin over
+  // the region mix by cumulative share).
+  std::vector<int> tenant_case;
+
+  static TenantModel from_mix(const RegionMix& mix, uint32_t num_tenants,
+                              double skew);
+};
+
+}  // namespace hermes::sim

@@ -1,0 +1,153 @@
+// Deterministic random number generation for the simulator.
+//
+// One Rng per simulation, seeded explicitly; all stochastic behaviour
+// (arrival processes, service times, tenant skew) flows from it so that a
+// (seed, config) pair fully determines a run.
+//
+// The core generator is SplitMix64 feeding xoshiro256**, both public-domain
+// algorithms, implemented here to avoid the unspecified distributions of
+// <random> (libstdc++ vs libc++ differ, which would break cross-platform
+// reproducibility of EXPERIMENTS.md numbers).
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <numbers>
+#include <vector>
+
+#include "util/check.h"
+#include "util/types.h"
+
+namespace hermes::sim {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) {
+    // SplitMix64 to spread the seed over the 256-bit state.
+    uint64_t x = seed;
+    for (auto& s : state_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      s = z ^ (z >> 31);
+    }
+  }
+
+  // xoshiro256** next().
+  uint64_t next_u64() {
+    const uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform in [0, 1).
+  double next_double() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  // Uniform integer in [0, n). n must be > 0.
+  uint64_t next_below(uint64_t n) {
+    HERMES_DCHECK(n > 0);
+    // Lemire's multiply-shift rejection method (unbiased).
+    uint64_t x = next_u64();
+    __uint128_t m = static_cast<__uint128_t>(x) * n;
+    auto lo = static_cast<uint64_t>(m);
+    if (lo < n) {
+      const uint64_t threshold = (0 - n) % n;
+      while (lo < threshold) {
+        x = next_u64();
+        m = static_cast<__uint128_t>(x) * n;
+        lo = static_cast<uint64_t>(m);
+      }
+    }
+    return static_cast<uint64_t>(m >> 64);
+  }
+
+  double uniform(double lo, double hi) { return lo + (hi - lo) * next_double(); }
+
+  bool bernoulli(double p) { return next_double() < p; }
+
+  // Exponential with given mean (inter-arrival times of Poisson processes).
+  double exponential(double mean) {
+    double u = next_double();
+    if (u <= 0.0) u = 0x1.0p-53;
+    return -mean * std::log(1.0 - u);
+  }
+
+  // Standard normal via Box-Muller (no cached value: determinism is simpler
+  // to reason about without per-call parity).
+  double normal(double mean, double stddev) {
+    double u1 = next_double();
+    double u2 = next_double();
+    if (u1 <= 0.0) u1 = 0x1.0p-53;
+    const double r = std::sqrt(-2.0 * std::log(u1));
+    return mean + stddev * r * std::cos(2.0 * std::numbers::pi * u2);
+  }
+
+  // Lognormal parameterized by the underlying normal's (mu, sigma).
+  double lognormal(double mu, double sigma) {
+    return std::exp(normal(mu, sigma));
+  }
+
+  // Bounded Pareto on [lo, hi] with shape alpha: heavy-tail request sizes
+  // and WebSocket-like processing-time tails (paper Table 1, Region3).
+  double bounded_pareto(double alpha, double lo, double hi) {
+    HERMES_DCHECK(alpha > 0 && lo > 0 && hi > lo);
+    const double u = next_double();
+    const double la = std::pow(lo, alpha);
+    const double ha = std::pow(hi, alpha);
+    return std::pow(-(u * ha - u * la - ha) / (ha * la), -1.0 / alpha);
+  }
+
+ private:
+  static uint64_t rotl(uint64_t v, int k) { return (v << k) | (v >> (64 - k)); }
+  uint64_t state_[4];
+};
+
+// Zipf sampler over [0, n) with exponent s, using precomputed CDF + binary
+// search. Models heavy tenant skew (paper: top-3 tenants take 40/28/22% of a
+// region's traffic).
+class ZipfSampler {
+ public:
+  ZipfSampler(uint32_t n, double s) : cdf_(n) {
+    HERMES_CHECK(n > 0);
+    double sum = 0;
+    for (uint32_t i = 0; i < n; ++i) {
+      sum += 1.0 / std::pow(static_cast<double>(i + 1), s);
+      cdf_[i] = sum;
+    }
+    for (auto& v : cdf_) v /= sum;
+  }
+
+  uint32_t sample(Rng& rng) const {
+    const double u = rng.next_double();
+    // Binary search the first index with cdf >= u.
+    uint32_t lo = 0, hi = static_cast<uint32_t>(cdf_.size() - 1);
+    while (lo < hi) {
+      const uint32_t mid = lo + (hi - lo) / 2;
+      if (cdf_[mid] < u) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo;
+  }
+
+  // Probability mass of rank i (for tests).
+  double pmf(uint32_t i) const {
+    return i == 0 ? cdf_[0] : cdf_[i] - cdf_[i - 1];
+  }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace hermes::sim

@@ -1,0 +1,39 @@
+// Lightweight runtime checking used across the library.
+//
+// HERMES_CHECK is always on (simulation correctness beats raw speed here);
+// HERMES_DCHECK compiles out in NDEBUG builds for hot paths.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace hermes::detail {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const char* msg) {
+  std::fprintf(stderr, "HERMES_CHECK failed: %s at %s:%d%s%s\n", expr, file,
+               line, msg[0] ? ": " : "", msg);
+  std::abort();
+}
+
+}  // namespace hermes::detail
+
+#define HERMES_CHECK(expr)                                            \
+  do {                                                                \
+    if (!(expr)) {                                                    \
+      ::hermes::detail::check_failed(#expr, __FILE__, __LINE__, ""); \
+    }                                                                 \
+  } while (0)
+
+#define HERMES_CHECK_MSG(expr, msg)                                    \
+  do {                                                                 \
+    if (!(expr)) {                                                     \
+      ::hermes::detail::check_failed(#expr, __FILE__, __LINE__, msg); \
+    }                                                                  \
+  } while (0)
+
+#ifdef NDEBUG
+#define HERMES_DCHECK(expr) ((void)0)
+#else
+#define HERMES_DCHECK(expr) HERMES_CHECK(expr)
+#endif

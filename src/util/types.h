@@ -1,0 +1,74 @@
+// Fundamental strong types shared across the Hermes codebase.
+//
+// SimTime is a strong int64 nanosecond type: simulation code never touches
+// wall-clock time, so every timestamp in the system is one of these.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace hermes {
+
+// Worker identifier: dense index in [0, worker_count). The in-kernel bitmap
+// (64-bit) limits a single group to 64 workers; core/group.h layers groups
+// on top for larger machines, mirroring the paper's two-level design.
+using WorkerId = uint32_t;
+inline constexpr WorkerId kInvalidWorker = std::numeric_limits<WorkerId>::max();
+
+// Tenant / port identifiers. Our L7 LB maps each tenant to a distinct
+// destination port behind the L4 NAT (paper Fig. 1), so the two are used
+// interchangeably at the LB.
+using TenantId = uint32_t;
+using PortId = uint16_t;
+
+// Simulated time in nanoseconds since simulation start.
+class SimTime {
+ public:
+  constexpr SimTime() = default;
+  constexpr explicit SimTime(int64_t ns) : ns_(ns) {}
+
+  static constexpr SimTime zero() { return SimTime{0}; }
+  static constexpr SimTime max() {
+    return SimTime{std::numeric_limits<int64_t>::max()};
+  }
+  static constexpr SimTime nanos(int64_t v) { return SimTime{v}; }
+  static constexpr SimTime micros(int64_t v) { return SimTime{v * 1'000}; }
+  static constexpr SimTime millis(int64_t v) { return SimTime{v * 1'000'000}; }
+  static constexpr SimTime seconds(int64_t v) {
+    return SimTime{v * 1'000'000'000};
+  }
+  static constexpr SimTime from_seconds_f(double v) {
+    return SimTime{static_cast<int64_t>(v * 1e9)};
+  }
+
+  constexpr int64_t ns() const { return ns_; }
+  constexpr double us_f() const { return static_cast<double>(ns_) / 1e3; }
+  constexpr double ms_f() const { return static_cast<double>(ns_) / 1e6; }
+  constexpr double s_f() const { return static_cast<double>(ns_) / 1e9; }
+
+  constexpr auto operator<=>(const SimTime&) const = default;
+
+  constexpr SimTime operator+(SimTime o) const { return SimTime{ns_ + o.ns_}; }
+  constexpr SimTime operator-(SimTime o) const { return SimTime{ns_ - o.ns_}; }
+  constexpr SimTime& operator+=(SimTime o) {
+    ns_ += o.ns_;
+    return *this;
+  }
+  constexpr SimTime& operator-=(SimTime o) {
+    ns_ -= o.ns_;
+    return *this;
+  }
+  constexpr SimTime operator*(int64_t k) const { return SimTime{ns_ * k}; }
+  constexpr SimTime operator/(int64_t k) const { return SimTime{ns_ / k}; }
+
+ private:
+  int64_t ns_ = 0;
+};
+
+inline std::string to_string(SimTime t) {
+  return std::to_string(t.ms_f()) + "ms";
+}
+
+}  // namespace hermes

@@ -1,0 +1,121 @@
+// Backend round-robin start-offset fix and shared connection pool (§7).
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "core/backend_pool.h"
+
+namespace hermes::core {
+namespace {
+
+// Reproduce the deployment incident: after a synchronized list update,
+// non-randomized workers all start at backend 0, so with few requests per
+// worker the first backends get a multiple of the others' traffic.
+TEST(RoundRobinTest, SynchronizedRestartOverloadsFirstBackends) {
+  constexpr uint32_t kWorkers = 16;
+  RoundRobinBackends rr(kWorkers, /*randomize_start=*/false);
+  rr.update_backends({0, 1, 2, 3, 4, 5, 6, 7}, /*seed=*/1);
+
+  std::map<BackendId, int> traffic;
+  // Each worker forwards only 2 requests after the update (Hermes spreads
+  // load, so per-worker request counts are small).
+  for (WorkerId w = 0; w < kWorkers; ++w) {
+    traffic[rr.pick(w)]++;
+    traffic[rr.pick(w)]++;
+  }
+  EXPECT_EQ(traffic[0], 16);  // every worker hit backend 0 first
+  EXPECT_EQ(traffic[1], 16);
+  EXPECT_EQ(traffic.count(2), 0u);  // backends 2..7 got nothing
+}
+
+TEST(RoundRobinTest, RandomizedStartSpreadsAfterUpdate) {
+  constexpr uint32_t kWorkers = 16;
+  RoundRobinBackends rr(kWorkers, /*randomize_start=*/true);
+  rr.update_backends({0, 1, 2, 3, 4, 5, 6, 7}, /*seed=*/1);
+
+  std::map<BackendId, int> traffic;
+  for (WorkerId w = 0; w < kWorkers; ++w) {
+    traffic[rr.pick(w)]++;
+    traffic[rr.pick(w)]++;
+  }
+  // No backend should receive more than half of all requests.
+  for (const auto& [b, n] : traffic) {
+    EXPECT_LE(n, 16) << "backend " << b;
+  }
+  EXPECT_GE(traffic.size(), 4u);  // load reaches a spread of backends
+}
+
+TEST(RoundRobinTest, PerWorkerCursorIsRoundRobin) {
+  RoundRobinBackends rr(1, false);
+  rr.update_backends({10, 20, 30}, 0);
+  EXPECT_EQ(rr.pick(0), 10u);
+  EXPECT_EQ(rr.pick(0), 20u);
+  EXPECT_EQ(rr.pick(0), 30u);
+  EXPECT_EQ(rr.pick(0), 10u);  // wraps
+}
+
+TEST(RoundRobinTest, UpdateResetsCursors) {
+  RoundRobinBackends rr(1, false);
+  rr.update_backends({1, 2}, 0);
+  rr.pick(0);
+  rr.update_backends({7, 8, 9}, 0);
+  EXPECT_EQ(rr.pick(0), 7u);
+  EXPECT_EQ(rr.num_backends(), 3u);
+}
+
+// ---- connection pool -----------------------------------------------------
+
+TEST(PoolTest, PerWorkerPoolCannotReuseAcrossWorkers) {
+  BackendConnectionPool pool(4, /*shared=*/false);
+  // Worker 0 finishes a request to backend 5: idle conn parked in w0's pool.
+  pool.release(0, 5);
+  EXPECT_FALSE(pool.acquire(1, 5));  // other worker: miss, new handshake
+  EXPECT_TRUE(pool.acquire(0, 5));   // same worker: hit
+}
+
+TEST(PoolTest, SharedPoolReusesAcrossWorkers) {
+  BackendConnectionPool pool(4, /*shared=*/true);
+  pool.release(0, 5);
+  EXPECT_TRUE(pool.acquire(3, 5));  // any worker reuses
+  EXPECT_FALSE(pool.acquire(2, 5));  // now consumed
+}
+
+TEST(PoolTest, HitRateAccounting) {
+  BackendConnectionPool pool(2, true);
+  EXPECT_FALSE(pool.acquire(0, 1));  // miss
+  pool.release(0, 1);
+  EXPECT_TRUE(pool.acquire(1, 1));  // hit
+  EXPECT_DOUBLE_EQ(pool.stats().hit_rate(), 0.5);
+}
+
+// The §7 effect quantified: spread traffic over all workers and compare
+// pool architectures. Shared pools keep reuse high under Hermes-style
+// even distribution; per-worker pools fragment.
+TEST(PoolTest, HermesSpreadFragmentsPerWorkerPools) {
+  constexpr uint32_t kWorkers = 8;
+  constexpr int kRequests = 4000;
+  constexpr uint32_t kBackends = 4;
+
+  auto run = [&](bool shared) {
+    BackendConnectionPool pool(kWorkers, shared);
+    uint64_t x = 12345;
+    for (int i = 0; i < kRequests; ++i) {
+      x = x * 6364136223846793005ull + 1442695040888963407ull;
+      // Hermes-style: requests land on any worker uniformly.
+      const WorkerId w = static_cast<WorkerId>((x >> 33) % kWorkers);
+      const BackendId b = static_cast<BackendId>((x >> 17) % kBackends);
+      pool.acquire(w, b);
+      pool.release(w, b);
+    }
+    return pool.stats().hit_rate();
+  };
+
+  const double shared_rate = run(true);
+  const double per_worker_rate = run(false);
+  EXPECT_GT(shared_rate, 0.99);  // everything after warmup is a hit
+  EXPECT_GT(shared_rate, per_worker_rate);
+}
+
+}  // namespace
+}  // namespace hermes::core

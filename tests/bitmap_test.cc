@@ -1,0 +1,121 @@
+// Property tests for the branch-free bitmap primitives against builtins.
+#include <gtest/gtest.h>
+
+#include <bit>
+
+#include "core/bitmap.h"
+#include "simcore/rng.h"
+
+namespace hermes::core {
+namespace {
+
+TEST(BitmapTest, PopcountKnownValues) {
+  EXPECT_EQ(count_nonzero_bits(0), 0u);
+  EXPECT_EQ(count_nonzero_bits(1), 1u);
+  EXPECT_EQ(count_nonzero_bits(0b11001), 3u);
+  EXPECT_EQ(count_nonzero_bits(~0ull), 64u);
+  EXPECT_EQ(count_nonzero_bits(0x8000000000000000ull), 1u);
+}
+
+TEST(BitmapTest, PopcountMatchesBuiltinExhaustive16) {
+  for (uint64_t v = 0; v <= 0xffff; ++v) {
+    ASSERT_EQ(count_nonzero_bits(v),
+              static_cast<uint32_t>(std::popcount(v)));
+  }
+}
+
+TEST(BitmapTest, PopcountMatchesBuiltinRandom64) {
+  sim::Rng rng(1);
+  for (int i = 0; i < 100000; ++i) {
+    const uint64_t v = rng.next_u64();
+    ASSERT_EQ(count_nonzero_bits(v), static_cast<uint32_t>(std::popcount(v)));
+  }
+}
+
+TEST(BitmapTest, CtzMatchesBuiltin) {
+  sim::Rng rng(2);
+  EXPECT_EQ(count_trailing_zeros(0), 64u);
+  for (int i = 0; i < 100000; ++i) {
+    const uint64_t v = rng.next_u64() | 1ull << rng.next_below(64);
+    ASSERT_EQ(count_trailing_zeros(v),
+              static_cast<uint32_t>(std::countr_zero(v)));
+  }
+}
+
+TEST(BitmapTest, FindNthKnownValues) {
+  // 0b11001: set bits at 0, 3, 4.
+  EXPECT_EQ(find_nth_nonzero_bit(0b11001, 1), 0u);
+  EXPECT_EQ(find_nth_nonzero_bit(0b11001, 2), 3u);
+  EXPECT_EQ(find_nth_nonzero_bit(0b11001, 3), 4u);
+  EXPECT_EQ(find_nth_nonzero_bit(~0ull, 64), 63u);
+  EXPECT_EQ(find_nth_nonzero_bit(1ull << 63, 1), 63u);
+}
+
+TEST(BitmapTest, FindNthPropertyRandom) {
+  sim::Rng rng(3);
+  for (int i = 0; i < 20000; ++i) {
+    uint64_t v = rng.next_u64();
+    if (v == 0) v = 1;
+    const uint32_t n = count_nonzero_bits(v);
+    const uint32_t rank = 1 + static_cast<uint32_t>(rng.next_below(n));
+    const uint32_t pos = find_nth_nonzero_bit(v, rank);
+    // Property 1: the bit at pos is set.
+    ASSERT_TRUE((v >> pos) & 1);
+    // Property 2: exactly rank set bits at positions <= pos.
+    const uint64_t below = pos == 63 ? v : v & ((2ull << pos) - 1);
+    ASSERT_EQ(count_nonzero_bits(below), rank);
+  }
+}
+
+TEST(BitmapTest, ReciprocalScaleInRangeAndUniformish) {
+  sim::Rng rng(4);
+  for (uint32_t n : {1u, 2u, 3u, 7u, 32u, 64u}) {
+    uint64_t counts[64] = {};
+    for (int i = 0; i < 64000; ++i) {
+      const uint32_t idx =
+          reciprocal_scale_u32(static_cast<uint32_t>(rng.next_u64()), n);
+      ASSERT_LT(idx, n);
+      ++counts[idx];
+    }
+    for (uint32_t b = 0; b < n; ++b) {
+      EXPECT_NEAR(static_cast<double>(counts[b]), 64000.0 / n,
+                  64000.0 / n * 0.15);
+    }
+  }
+}
+
+TEST(BitmapTest, ReciprocalScaleEdges) {
+  EXPECT_EQ(reciprocal_scale_u32(0, 10), 0u);
+  EXPECT_EQ(reciprocal_scale_u32(0xffffffffu, 10), 9u);
+  EXPECT_EQ(reciprocal_scale_u32(0xffffffffu, 1), 0u);
+}
+
+TEST(BitmapTest, SetAndTest) {
+  WorkerBitmap bm = 0;
+  bm = bitmap_set(bm, 0);
+  bm = bitmap_set(bm, 5);
+  bm = bitmap_set(bm, 63);
+  EXPECT_TRUE(bitmap_test(bm, 0));
+  EXPECT_TRUE(bitmap_test(bm, 5));
+  EXPECT_TRUE(bitmap_test(bm, 63));
+  EXPECT_FALSE(bitmap_test(bm, 1));
+  EXPECT_FALSE(bitmap_test(bm, 64));   // out of range: false, not UB
+  EXPECT_FALSE(bitmap_test(bm, 200));
+}
+
+// The paper's encoding example (§5.3.2): "{1, 1, 0, 0, 1} indicates that
+// workers with ID 1, 2, and 5 are selected" — i.e. bitmap 11001 read
+// left-to-right is worker 1 first. With 0-based ids, bits 0, 1, 4.
+TEST(BitmapTest, PaperEncodingExample) {
+  WorkerBitmap bm = 0;
+  bm = bitmap_set(bm, 0);
+  bm = bitmap_set(bm, 1);
+  bm = bitmap_set(bm, 4);
+  EXPECT_EQ(count_nonzero_bits(bm), 3u);
+  EXPECT_EQ(find_nth_nonzero_bit(bm, 1), 0u);
+  EXPECT_EQ(find_nth_nonzero_bit(bm, 2), 1u);
+  EXPECT_EQ(find_nth_nonzero_bit(bm, 3), 4u);
+}
+
+}  // namespace
+}  // namespace hermes::core

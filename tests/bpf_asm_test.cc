@@ -1,0 +1,105 @@
+// Assembler: label fixup, forward-only enforcement, disassembly.
+#include <gtest/gtest.h>
+
+#include "bpf/assembler.h"
+
+namespace hermes::bpf {
+namespace {
+
+TEST(AssemblerTest, EmitsExpectedOpcodes) {
+  Assembler a;
+  a.mov(r0, 7);
+  a.add(r0, r1);
+  a.exit();
+  Program p = a.finish();
+  ASSERT_EQ(p.size(), 3u);
+  EXPECT_EQ(p[0].op, Op::MovImm);
+  EXPECT_EQ(p[0].dst, 0);
+  EXPECT_EQ(p[0].imm, 7);
+  EXPECT_EQ(p[1].op, Op::AddReg);
+  EXPECT_EQ(p[1].src, 1);
+  EXPECT_EQ(p[2].op, Op::Exit);
+}
+
+TEST(AssemblerTest, ForwardLabelIsPatched) {
+  Assembler a;
+  a.jeq(r1, 0, "skip");   // idx 0
+  a.mov(r0, 1);           // idx 1
+  a.label("skip");
+  a.mov(r0, 2);           // idx 2
+  a.exit();
+  Program p = a.finish();
+  // Jump from 0 to 2: off = 2 - 0 - 1 = 1.
+  EXPECT_EQ(p[0].off, 1);
+}
+
+TEST(AssemblerTest, MultipleJumpsToOneLabel) {
+  Assembler a;
+  a.jeq(r1, 0, "end");
+  a.jne(r1, 5, "end");
+  a.mov(r0, 1);
+  a.label("end");
+  a.exit();
+  Program p = a.finish();
+  EXPECT_EQ(p[0].off, 2);
+  EXPECT_EQ(p[1].off, 1);
+}
+
+TEST(AssemblerTest, JumpToImmediateNextInsnHasZeroOffset) {
+  Assembler a;
+  a.ja("next");
+  a.label("next");
+  a.exit();
+  Program p = a.finish();
+  EXPECT_EQ(p[0].off, 0);
+}
+
+TEST(AssemblerDeathTest, UnresolvedLabelAborts) {
+  Assembler a;
+  a.ja("nowhere");
+  a.exit();
+  EXPECT_DEATH(a.finish(), "unresolved label");
+}
+
+TEST(AssemblerDeathTest, BackwardLabelAborts) {
+  Assembler a;
+  a.label("top");
+  a.mov(r0, 0);
+  // Jump back to "top": label() binds eagerly only for already-pending
+  // sites, so this jump stays pending and finish() aborts.
+  a.ja("top");
+  a.exit();
+  EXPECT_DEATH(a.finish(), "unresolved label");
+}
+
+TEST(DisassemblerTest, ReadableOutput) {
+  Assembler a;
+  a.mov(r3, 42);
+  a.ldx_w(r2, r1, 16);
+  a.stx_dw(r10, -8, r7);
+  a.call(HelperId::MapLookupElem);
+  a.exit();
+  Program p = a.finish();
+  EXPECT_EQ(disassemble(p[0]), "movi r3, 42");
+  EXPECT_EQ(disassemble(p[1]), "ldxw r2, [r1+16]");
+  EXPECT_EQ(disassemble(p[2]), "stxdw [r10-8], r7");
+  EXPECT_EQ(disassemble(p[3]), "call 1");
+  EXPECT_EQ(disassemble(p[4]), "exit");
+  // Full-program disassembly has one numbered line per insn.
+  const std::string all = disassemble(p);
+  EXPECT_NE(all.find("0: movi r3, 42"), std::string::npos);
+  EXPECT_NE(all.find("4: exit"), std::string::npos);
+}
+
+TEST(DisassemblerTest, JumpShowsTarget) {
+  Assembler a;
+  a.jgt(r2, 10, "out");
+  a.mov(r0, 0);
+  a.label("out");
+  a.exit();
+  Program p = a.finish();
+  EXPECT_EQ(disassemble(p[0]), "jgti r2, 10 -> +1");
+}
+
+}  // namespace
+}  // namespace hermes::bpf

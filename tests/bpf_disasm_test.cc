@@ -1,0 +1,54 @@
+// Opcode-table integrity: every opcode has a printable mnemonic and a
+// disassembly that never crashes — guards the name table against drift
+// when the ISA grows (as it did with the ALU32 family).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "bpf/insn.h"
+
+namespace hermes::bpf {
+namespace {
+
+TEST(DisasmCoverageTest, EveryOpcodeHasAUniqueName) {
+  std::set<std::string> names;
+  for (int op = 0; op <= static_cast<int>(Op::Exit); ++op) {
+    const std::string name = to_string(static_cast<Op>(op));
+    EXPECT_FALSE(name.empty());
+    EXPECT_TRUE(names.insert(name).second)
+        << "duplicate mnemonic '" << name << "' at opcode " << op;
+  }
+}
+
+TEST(DisasmCoverageTest, EveryOpcodeDisassembles) {
+  for (int op = 0; op <= static_cast<int>(Op::Exit); ++op) {
+    Insn insn;
+    insn.op = static_cast<Op>(op);
+    insn.dst = 1;
+    insn.src = 2;
+    insn.off = -8;
+    insn.imm = 42;
+    const std::string text = disassemble(insn);
+    EXPECT_FALSE(text.empty());
+    // Every line leads with the mnemonic.
+    EXPECT_EQ(text.rfind(to_string(insn.op), 0), 0u) << text;
+  }
+}
+
+TEST(DisasmCoverageTest, Alu32FamilyNamedDistinctlyFrom64) {
+  EXPECT_EQ(to_string(Op::AddReg), "add");
+  EXPECT_EQ(to_string(Op::Add32Reg), "add32");
+  EXPECT_EQ(to_string(Op::Arsh32Imm), "arsh32i");
+  EXPECT_EQ(to_string(Op::Neg32), "neg32");
+  EXPECT_EQ(to_string(Op::Mov32Imm), "mov32i");
+}
+
+TEST(DisasmCoverageTest, ProgramListingIsLineNumbered) {
+  Program p = {{Op::MovImm, 0, 0, 0, 1}, {Op::Exit}};
+  const std::string text = disassemble(p);
+  EXPECT_NE(text.find("0: movi r0, 1"), std::string::npos);
+  EXPECT_NE(text.find("1: exit"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hermes::bpf

@@ -1,0 +1,93 @@
+// Proactive service degradation (Appendix C, exception case 1).
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+#include <vector>
+
+#include "core/degradation.h"
+
+namespace hermes::core {
+namespace {
+
+class DegradationTest : public ::testing::Test {
+ protected:
+  DegradationTest() {
+    buf_.resize(WorkerStatusTable::required_bytes(4) + 64);
+    const auto addr = reinterpret_cast<uintptr_t>(buf_.data());
+    wst_.emplace(WorkerStatusTable::init(
+        reinterpret_cast<void*>((addr + 63) & ~uintptr_t{63}), 4));
+  }
+
+  std::vector<uint8_t> buf_;
+  std::optional<WorkerStatusTable> wst_;
+  HermesConfig cfg_{};
+};
+
+TEST_F(DegradationTest, TriggersOnlyPastDeepHangThreshold) {
+  DegradationPolicy pol(cfg_);
+  wst_->update_avail(0, SimTime::zero());
+  // Just hung (past scheduler threshold) but not degradation-deep:
+  EXPECT_FALSE(pol.should_degrade(*wst_, 0, cfg_.hang_threshold * 2));
+  // Past the degradation threshold:
+  EXPECT_TRUE(pol.should_degrade(
+      *wst_, 0, cfg_.degradation_after + SimTime::millis(1)));
+}
+
+TEST_F(DegradationTest, HealthyWorkerNeverDegraded) {
+  DegradationPolicy pol(cfg_);
+  const SimTime now = SimTime::seconds(10);
+  wst_->update_avail(1, now - SimTime::millis(1));
+  EXPECT_FALSE(pol.should_degrade(*wst_, 1, now));
+}
+
+TEST_F(DegradationTest, PickResetsApproximatesFraction) {
+  cfg_.degradation_reset_fraction = 0.25;
+  DegradationPolicy pol(cfg_);
+  std::vector<uint64_t> conns(1000);
+  std::iota(conns.begin(), conns.end(), 1);
+  const auto resets = pol.pick_resets(conns);
+  EXPECT_EQ(resets.size(), 250u);
+  // All returned ids must be real members.
+  const std::set<uint64_t> all(conns.begin(), conns.end());
+  for (uint64_t id : resets) EXPECT_TRUE(all.count(id));
+}
+
+TEST_F(DegradationTest, SaltRotatesVictims) {
+  cfg_.degradation_reset_fraction = 0.25;
+  DegradationPolicy pol(cfg_);
+  std::vector<uint64_t> conns(100);
+  std::iota(conns.begin(), conns.end(), 0);
+  const auto round0 = pol.pick_resets(conns, 0);
+  const auto round1 = pol.pick_resets(conns, 1);
+  EXPECT_EQ(round0.size(), round1.size());
+  EXPECT_NE(round0, round1);  // different victims each round
+}
+
+TEST_F(DegradationTest, EmptyAndZeroFractionEdges) {
+  cfg_.degradation_reset_fraction = 0.0;
+  DegradationPolicy zero(cfg_);
+  std::vector<uint64_t> conns = {1, 2, 3};
+  EXPECT_TRUE(zero.pick_resets(conns).empty());
+
+  cfg_.degradation_reset_fraction = 0.5;
+  DegradationPolicy pol(cfg_);
+  EXPECT_TRUE(pol.pick_resets({}).empty());
+}
+
+TEST_F(DegradationTest, FullFractionResetsEverything) {
+  cfg_.degradation_reset_fraction = 1.0;
+  DegradationPolicy pol(cfg_);
+  std::vector<uint64_t> conns = {5, 6, 7, 8};
+  EXPECT_EQ(pol.pick_resets(conns).size(), 4u);
+}
+
+TEST_F(DegradationTest, DeterministicForSameInputs) {
+  DegradationPolicy pol(cfg_);
+  std::vector<uint64_t> conns(64);
+  std::iota(conns.begin(), conns.end(), 100);
+  EXPECT_EQ(pol.pick_resets(conns, 3), pol.pick_resets(conns, 3));
+}
+
+}  // namespace
+}  // namespace hermes::core

@@ -1,0 +1,376 @@
+// Integration tests: the full LB simulation reproduces the paper's
+// qualitative phenomena — LIFO concentration under epoll exclusive,
+// reuseport's spread and its blindness to hung workers, Hermes's balanced,
+// hang-aware dispatch.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "sim/lb.h"
+#include "sim/probe.h"
+
+namespace hermes::sim {
+namespace {
+
+LbDevice::Config base_config(netsim::DispatchMode mode, uint64_t seed = 1) {
+  LbDevice::Config cfg;
+  cfg.mode = mode;
+  cfg.num_workers = 4;
+  cfg.num_ports = 4;
+  cfg.seed = seed;
+  return cfg;
+}
+
+std::vector<int64_t> conns_per_worker(LbDevice& lb) {
+  std::vector<int64_t> v;
+  for (WorkerId w = 0; w < lb.num_workers(); ++w) {
+    v.push_back(lb.worker(w).live_connections());
+  }
+  return v;
+}
+
+std::vector<uint64_t> accepts_per_worker(LbDevice& lb) {
+  std::vector<uint64_t> v;
+  for (WorkerId w = 0; w < lb.num_workers(); ++w) {
+    v.push_back(lb.worker(w).accepts_done());
+  }
+  return v;
+}
+
+TEST(LbSimTest, IdleLbOnlyTicksHeartbeats) {
+  LbDevice lb(base_config(netsim::DispatchMode::HermesMode));
+  lb.eq().run_until(SimTime::seconds(1));
+  EXPECT_EQ(lb.totals().requests_completed, 0u);
+  // Each worker wakes every 5ms: ~200 iterations each.
+  for (WorkerId w = 0; w < lb.num_workers(); ++w) {
+    EXPECT_NEAR(static_cast<double>(lb.worker(w).loop_iterations()), 200, 10);
+  }
+  // Scheduler ran on every iteration (Fig. 14's baseline frequency).
+  EXPECT_GT(lb.hermes()->counters().schedules, 700u);
+}
+
+TEST(LbSimTest, SingleConnectionCompletesWithPlausibleLatency) {
+  LbDevice lb(base_config(netsim::DispatchMode::HermesMode));
+  LbDevice::ConnPlan plan;
+  plan.tenant = 0;
+  plan.remaining = 1;
+  plan.cost_us = DistSpec::constant(200);
+  ASSERT_NE(lb.open_connection(0, plan), 0u);
+  lb.eq().run_until(SimTime::seconds(1));
+  EXPECT_EQ(lb.totals().requests_completed, 1u);
+  // Latency = accept wakeup + accept cost + processing, well under 1 ms.
+  EXPECT_GT(lb.latency().max_value(), SimTime::micros(200).ns());
+  EXPECT_LT(lb.latency().max_value(), SimTime::millis(1).ns());
+  EXPECT_EQ(lb.live_connections(), 0u);
+}
+
+TEST(LbSimTest, KeepAliveConnectionRunsAllRequests) {
+  LbDevice lb(base_config(netsim::DispatchMode::Reuseport));
+  LbDevice::ConnPlan plan;
+  plan.remaining = 10;
+  plan.cost_us = DistSpec::constant(100);
+  plan.gap_us = DistSpec::constant(1000);
+  ASSERT_NE(lb.open_connection(0, plan), 0u);
+  lb.eq().run_until(SimTime::seconds(1));
+  EXPECT_EQ(lb.totals().requests_completed, 10u);
+  EXPECT_EQ(lb.live_connections(), 0u);
+}
+
+TEST(LbSimTest, ExclusiveConcentratesConnectionsLifo) {
+  // Case-3-style long-lived connections at light load: the LIFO wakeup
+  // sends nearly everything to the last-registered worker (highest id).
+  auto cfg = base_config(netsim::DispatchMode::EpollExclusive);
+  LbDevice lb(cfg);
+  LbDevice::ConnPlan plan;
+  plan.remaining = 100;                      // long-lived
+  plan.cost_us = DistSpec::constant(50);     // light
+  plan.gap_us = DistSpec::exponential(200'000);
+  for (int i = 0; i < 200; ++i) {
+    const SimTime at = SimTime::millis(2 * i);
+    lb.eq().schedule_at(at, [&lb, plan, i] {
+      lb.open_connection(static_cast<TenantId>(i % 4), plan);
+    });
+  }
+  lb.eq().run_until(SimTime::seconds(1));
+  const auto accepts = accepts_per_worker(lb);
+  const uint64_t top = *std::max_element(accepts.begin(), accepts.end());
+  const uint64_t total = 200;
+  // The head worker (id 3) hoards the vast majority.
+  EXPECT_EQ(accepts[3], top);
+  EXPECT_GT(static_cast<double>(top) / total, 0.8);
+}
+
+TEST(LbSimTest, ReuseportSpreadsConnections) {
+  LbDevice lb(base_config(netsim::DispatchMode::Reuseport));
+  LbDevice::ConnPlan plan;
+  plan.remaining = 100;
+  plan.cost_us = DistSpec::constant(50);
+  plan.gap_us = DistSpec::exponential(200'000);
+  for (int i = 0; i < 400; ++i) {
+    lb.eq().schedule_at(SimTime::millis(i), [&lb, plan, i] {
+      lb.open_connection(static_cast<TenantId>(i % 4), plan);
+    });
+  }
+  lb.eq().run_until(SimTime::seconds(1));
+  const auto accepts = accepts_per_worker(lb);
+  for (uint64_t a : accepts) {
+    EXPECT_NEAR(static_cast<double>(a), 100.0, 45.0);  // hash spread
+  }
+}
+
+TEST(LbSimTest, HermesSpreadsConnectionsTighter) {
+  LbDevice lb(base_config(netsim::DispatchMode::HermesMode));
+  LbDevice::ConnPlan plan;
+  plan.remaining = 100;
+  plan.cost_us = DistSpec::constant(50);
+  plan.gap_us = DistSpec::exponential(200'000);
+  for (int i = 0; i < 400; ++i) {
+    lb.eq().schedule_at(SimTime::millis(i), [&lb, plan, i] {
+      lb.open_connection(static_cast<TenantId>(i % 4), plan);
+    });
+  }
+  lb.eq().run_until(SimTime::seconds(1));
+  // Hermes's conn-count filter keeps the distribution tight (paper Fig. 13:
+  // conn SD 20 vs reuseport 50 vs exclusive 3200).
+  const auto conns = conns_per_worker(lb);
+  const auto [mn, mx] = std::minmax_element(conns.begin(), conns.end());
+  EXPECT_LE(*mx - *mn, 30);
+  EXPECT_GT(lb.netstack().group(lb.config().first_port)->stats().bpf_selections,
+            0u);
+}
+
+TEST(LbSimTest, HermesBypassesHungWorker) {
+  auto cfg = base_config(netsim::DispatchMode::HermesMode);
+  LbDevice lb(cfg);
+
+  // Poison one connection so its owner wedges for 2 seconds.
+  LbDevice::ConnPlan poison;
+  poison.remaining = 1;
+  poison.cost_us = DistSpec::constant(2'000'000);
+  ASSERT_NE(lb.open_connection(0, poison), 0u);
+  lb.eq().run_until(SimTime::millis(100));
+
+  // Identify the wedged worker: the one not blocked.
+  WorkerId hung = kInvalidWorker;
+  for (WorkerId w = 0; w < lb.num_workers(); ++w) {
+    if (!lb.worker(w).blocked()) hung = w;
+  }
+  ASSERT_NE(hung, kInvalidWorker);
+
+  // Now open many short connections; none should land on the hung worker
+  // (Hermes), because its loop-entry timestamp is stale.
+  const uint64_t before = lb.worker(hung).accepts_done();
+  LbDevice::ConnPlan quick;
+  quick.remaining = 1;
+  quick.cost_us = DistSpec::constant(100);
+  for (int i = 0; i < 200; ++i) {
+    lb.eq().schedule_at(SimTime::millis(101 + i), [&lb, quick, i] {
+      lb.open_connection(static_cast<TenantId>(i % 4), quick);
+    });
+  }
+  lb.eq().run_until(SimTime::millis(400));
+  EXPECT_EQ(lb.worker(hung).accepts_done(), before);
+  EXPECT_GE(lb.totals().requests_completed, 200u);
+}
+
+TEST(LbSimTest, ReuseportKeepsFeedingHungWorker) {
+  LbDevice lb(base_config(netsim::DispatchMode::Reuseport));
+  LbDevice::ConnPlan poison;
+  poison.remaining = 1;
+  poison.cost_us = DistSpec::constant(2'000'000);
+  ASSERT_NE(lb.open_connection(0, poison), 0u);
+  lb.eq().run_until(SimTime::millis(100));
+
+  WorkerId hung = kInvalidWorker;
+  for (WorkerId w = 0; w < lb.num_workers(); ++w) {
+    if (!lb.worker(w).blocked()) hung = w;
+  }
+  ASSERT_NE(hung, kInvalidWorker);
+
+  LbDevice::ConnPlan quick;
+  quick.remaining = 1;
+  quick.cost_us = DistSpec::constant(100);
+  for (int i = 0; i < 400; ++i) {
+    lb.eq().schedule_at(SimTime::millis(101 + i / 2), [&lb, quick, i] {
+      lb.open_connection(static_cast<TenantId>(i % 4), quick);
+    });
+  }
+  lb.eq().run_until(SimTime::millis(400));
+  // Stateless hashing still queues connections on the hung worker's socket.
+  const size_t queued =
+      lb.netstack().worker_socket(lb.config().first_port, hung) == nullptr
+          ? 0
+          : [&] {
+              size_t total = 0;
+              for (uint32_t p = 0; p < lb.config().num_ports; ++p) {
+                total += lb.netstack()
+                             .worker_socket(static_cast<PortId>(
+                                                lb.config().first_port + p),
+                                            hung)
+                             ->accept_queue()
+                             .size();
+              }
+              return total;
+            }();
+  EXPECT_GT(queued, 0u);
+}
+
+TEST(LbSimTest, PatternDriverGeneratesExpectedVolume) {
+  auto cfg = base_config(netsim::DispatchMode::HermesMode);
+  LbDevice lb(cfg);
+  TrafficPattern p = case_pattern(1, /*workers=*/4, /*load=*/0.5);
+  lb.start_pattern(p, 0, 4, SimTime::seconds(2));
+  lb.eq().run_until(SimTime::seconds(3));
+  const double expected = p.cps * 2.0;
+  EXPECT_NEAR(static_cast<double>(lb.totals().conns_opened), expected,
+              expected * 0.15);
+  // Underloaded: essentially everything completes.
+  EXPECT_GT(lb.totals().requests_completed,
+            lb.totals().requests_generated * 95 / 100);
+}
+
+TEST(LbSimTest, DeterministicForSeed) {
+  auto run = [](uint64_t seed) {
+    LbDevice lb(base_config(netsim::DispatchMode::HermesMode, seed));
+    lb.start_pattern(case_pattern(3, 4, 1.0), 0, 4, SimTime::seconds(1));
+    lb.eq().run_until(SimTime::seconds(2));
+    return std::tuple{lb.totals().requests_completed,
+                      lb.totals().conns_opened, lb.latency().p99()};
+  };
+  EXPECT_EQ(run(7), run(7));
+  EXPECT_NE(run(7), run(8));
+}
+
+TEST(LbSimTest, SamplerTracksUtilization) {
+  LbDevice lb(base_config(netsim::DispatchMode::HermesMode));
+  lb.start_pattern(case_pattern(1, 4, 1.0), 0, 4, SimTime::seconds(2));
+  lb.start_sampling(SimTime::millis(500), SimTime::seconds(2));
+  lb.eq().run_until(SimTime::seconds(2));
+  ASSERT_GE(lb.samples().size(), 3u);
+  // Under case-1 load the LB is busy but not saturated.
+  const auto& s = lb.samples().back();
+  EXPECT_GT(s.cpu_avg, 0.05);
+  EXPECT_LT(s.cpu_avg, 0.95);
+  EXPECT_GE(s.cpu_max, s.cpu_avg);
+  EXPECT_LE(s.cpu_min, s.cpu_avg);
+}
+
+TEST(LbSimTest, BurstDeliversToAllLiveConnections) {
+  LbDevice lb(base_config(netsim::DispatchMode::Reuseport));
+  LbDevice::ConnPlan plan;
+  plan.remaining = 2;  // stays open waiting for a 2nd request
+  plan.cost_us = DistSpec::constant(100);
+  plan.gap_us = DistSpec::constant(10'000'000);  // long think time
+  for (int i = 0; i < 50; ++i) {
+    lb.open_connection(static_cast<TenantId>(i % 4), plan);
+  }
+  lb.eq().run_until(SimTime::millis(500));
+  const uint64_t before = lb.totals().requests_generated;
+  lb.eq().schedule_at(SimTime::millis(600), [&lb] {
+    lb.burst_all_connections(DistSpec::constant(200), 2);
+  });
+  lb.eq().run_until(SimTime::millis(700));
+  EXPECT_EQ(lb.totals().requests_generated, before + 100);
+}
+
+TEST(LbSimTest, ProbeCountsDelayedProbes) {
+  LbDevice lb(base_config(netsim::DispatchMode::Reuseport));
+  // Wedge all workers with poison, then probe.
+  LbDevice::ConnPlan poison;
+  poison.remaining = 1;
+  poison.cost_us = DistSpec::constant(3'000'000);
+  for (int i = 0; i < 16; ++i) {
+    lb.open_connection(static_cast<TenantId>(i % 4), poison);
+  }
+  Prober::Config pc;
+  pc.period = SimTime::millis(100);
+  Prober prober(lb, pc);
+  prober.start(SimTime::seconds(2));
+  lb.eq().run_until(SimTime::seconds(4));
+  EXPECT_GT(prober.probes_sent(), 10u);
+  EXPECT_GT(prober.delayed(), 0u);
+}
+
+TEST(LbSimTest, DegradationSweepMovesConnectionsOffHungWorker) {
+  auto cfg = base_config(netsim::DispatchMode::HermesMode);
+  cfg.hermes.degradation_after = SimTime::millis(200);
+  cfg.hermes.degradation_reset_fraction = 0.5;
+  LbDevice lb(cfg);
+
+  // Long-lived connections concentrated by construction: open some, then
+  // wedge one worker with poison.
+  LbDevice::ConnPlan longlived;
+  longlived.remaining = 5;
+  longlived.cost_us = DistSpec::constant(100);
+  longlived.gap_us = DistSpec::constant(5'000'000);
+  for (int i = 0; i < 40; ++i) {
+    lb.open_connection(static_cast<TenantId>(i % 4), longlived);
+  }
+  lb.eq().run_until(SimTime::millis(50));
+
+  LbDevice::ConnPlan poison;
+  poison.remaining = 1;
+  poison.cost_us = DistSpec::constant(5'000'000);
+  lb.open_connection(0, poison);
+  lb.eq().run_until(SimTime::millis(100));
+
+  // Sweep periodically; after the hang threshold, resets should fire.
+  for (int t = 1; t <= 20; ++t) {
+    lb.eq().schedule_at(SimTime::millis(100 + 100 * t),
+                        [&lb] { lb.run_degradation_sweep(); });
+  }
+  lb.eq().run_until(SimTime::seconds(3));
+  EXPECT_GT(lb.totals().degradation_resets, 0u);
+}
+
+TEST(LbSimTest, SynRetransmissionRecoversDroppedConnections) {
+  auto cfg = base_config(netsim::DispatchMode::Reuseport);
+  cfg.num_workers = 1;
+  cfg.num_ports = 1;
+  cfg.backlog = 2;
+  cfg.syn_retries = 3;
+  cfg.syn_retry_timeout = SimTime::millis(100);
+  LbDevice lb(cfg);
+
+  // Burst of 6 instant SYNs into a backlog of 2: 4 drop, then retry.
+  LbDevice::ConnPlan plan;
+  plan.remaining = 1;
+  plan.cost_us = DistSpec::constant(100);
+  for (int i = 0; i < 6; ++i) lb.open_connection(0, plan);
+  EXPECT_EQ(lb.totals().conns_dropped, 4u);
+  EXPECT_EQ(lb.totals().syn_retransmits, 4u);
+
+  lb.eq().run_until(SimTime::seconds(3));
+  // Retries eventually land everything.
+  EXPECT_EQ(lb.totals().requests_completed, 6u);
+  // The late connections' latency includes the retry backoff: well over
+  // the 100 ms first backoff, measured from the ORIGINAL SYN.
+  EXPECT_GT(lb.latency().max_value(), SimTime::millis(100).ns());
+}
+
+TEST(LbSimTest, SynRetriesExhaustAndGiveUp) {
+  auto cfg = base_config(netsim::DispatchMode::Reuseport);
+  cfg.num_workers = 1;
+  cfg.num_ports = 1;
+  cfg.backlog = 1;
+  cfg.syn_retries = 2;
+  cfg.syn_retry_timeout = SimTime::millis(50);
+  LbDevice lb(cfg);
+
+  // Wedge the lone worker so the backlog never drains, then flood.
+  LbDevice::ConnPlan poison;
+  poison.remaining = 1;
+  poison.cost_us = DistSpec::constant(10'000'000);
+  lb.open_connection(0, poison);
+  lb.eq().run_until(SimTime::millis(10));
+  LbDevice::ConnPlan plan;
+  for (int i = 0; i < 4; ++i) lb.open_connection(0, plan);
+  lb.eq().run_until(SimTime::seconds(2));
+  // Each dropped SYN retried at most twice, then gave up for good.
+  EXPECT_LE(lb.totals().syn_retransmits, 8u);
+  EXPECT_GT(lb.totals().conns_dropped, 4u);
+}
+
+}  // namespace
+}  // namespace hermes::sim

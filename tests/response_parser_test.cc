@@ -1,0 +1,74 @@
+// Client-side response parsing, including a serializer<->parser round trip.
+#include <gtest/gtest.h>
+
+#include "http/response.h"
+#include "http/response_parser.h"
+
+namespace hermes::http {
+namespace {
+
+TEST(ResponseParserTest, ParsesSimpleResponse) {
+  const auto r = parse_response(
+      "HTTP/1.1 200 OK\r\nX-Worker: 3\r\nContent-Length: 2\r\n\r\nok");
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->status, 200);
+  EXPECT_EQ(r->reason, "OK");
+  EXPECT_EQ(*r->header("x-worker"), "3");
+  EXPECT_EQ(r->body, "ok");
+}
+
+TEST(ResponseParserTest, RoundTripsWithSerializer) {
+  Response resp;
+  resp.set_status(503)
+      .add_header("Retry-After", "2")
+      .set_body("overloaded");
+  const auto r = parse_response(resp.serialize());
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->status, 503);
+  EXPECT_EQ(r->reason, "Service Unavailable");
+  EXPECT_EQ(*r->header("retry-after"), "2");
+  EXPECT_EQ(r->body, "overloaded");
+}
+
+TEST(ResponseParserTest, MultiWordReasonPhrase) {
+  const auto r =
+      parse_response("HTTP/1.1 404 Not Found\r\nContent-Length: 0\r\n\r\n");
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->reason, "Not Found");
+  EXPECT_TRUE(r->body.empty());
+}
+
+TEST(ResponseParserTest, NoContentLengthTakesRemainder) {
+  const auto r = parse_response(
+      "HTTP/1.1 200 OK\r\nConnection: close\r\n\r\nstreamed until close");
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->body, "streamed until close");
+}
+
+TEST(ResponseParserTest, TruncatedBodyRejected) {
+  EXPECT_FALSE(parse_response(
+                   "HTTP/1.1 200 OK\r\nContent-Length: 10\r\n\r\nshort")
+                   .has_value());
+}
+
+TEST(ResponseParserTest, MalformedInputsRejected) {
+  EXPECT_FALSE(parse_response("").has_value());
+  EXPECT_FALSE(parse_response("garbage\r\n\r\n").has_value());
+  EXPECT_FALSE(parse_response("HTTP/1.1\r\n\r\n").has_value());
+  EXPECT_FALSE(parse_response("HTTP/1.1 999999 X\r\n\r\n").has_value());
+  EXPECT_FALSE(parse_response("HTTP/1.1 200 OK\r\nNoColon\r\n\r\n")
+                   .has_value());
+  EXPECT_FALSE(
+      parse_response("HTTP/1.1 200 OK\r\nX: 1").has_value());  // no blank
+}
+
+TEST(ResponseParserTest, StatusWithoutReason) {
+  const auto r =
+      parse_response("HTTP/1.1 204\r\nContent-Length: 0\r\n\r\n");
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->status, 204);
+  EXPECT_TRUE(r->reason.empty());
+}
+
+}  // namespace
+}  // namespace hermes::http

@@ -1,0 +1,53 @@
+// http::Response serialization, and a parser<->response round trip.
+#include <gtest/gtest.h>
+
+#include "http/parser.h"
+#include "http/response.h"
+
+namespace hermes::http {
+namespace {
+
+TEST(ResponseTest, SerializesStatusLineAndLength) {
+  Response r;
+  r.set_status(200).add_header("X-Worker", "3").set_body("ok");
+  const std::string wire = r.serialize();
+  EXPECT_NE(wire.find("HTTP/1.1 200 OK\r\n"), std::string::npos);
+  EXPECT_NE(wire.find("X-Worker: 3\r\n"), std::string::npos);
+  EXPECT_NE(wire.find("Content-Length: 2\r\n"), std::string::npos);
+  EXPECT_TRUE(wire.ends_with("\r\n\r\nok"));
+}
+
+TEST(ResponseTest, ExplicitContentLengthNotDuplicated) {
+  Response r;
+  r.add_header("Content-Length", "5").set_body("hello");
+  const std::string wire = r.serialize();
+  EXPECT_EQ(wire.find("Content-Length"), wire.rfind("Content-Length"));
+}
+
+TEST(ResponseTest, CaseInsensitiveContentLengthDetection) {
+  Response r;
+  r.add_header("content-LENGTH", "0");
+  const std::string wire = r.serialize();
+  // Only the caller's spelling appears once; no auto-added header.
+  EXPECT_EQ(wire.find("ontent-"), wire.rfind("ontent-"));
+}
+
+TEST(ResponseTest, ReasonPhrases) {
+  EXPECT_STREQ(Response::reason_phrase(200), "OK");
+  EXPECT_STREQ(Response::reason_phrase(404), "Not Found");
+  EXPECT_STREQ(Response::reason_phrase(499), "Client Closed Request");
+  EXPECT_STREQ(Response::reason_phrase(503), "Service Unavailable");
+  EXPECT_STREQ(Response::reason_phrase(777), "Unknown");
+}
+
+TEST(ResponseTest, EmptyBodyStillFramed) {
+  Response r;
+  r.set_status(204);
+  const std::string wire = r.serialize();
+  EXPECT_NE(wire.find("HTTP/1.1 204 No Content\r\n"), std::string::npos);
+  EXPECT_NE(wire.find("Content-Length: 0\r\n"), std::string::npos);
+  EXPECT_TRUE(wire.ends_with("\r\n\r\n"));
+}
+
+}  // namespace
+}  // namespace hermes::http

@@ -1,0 +1,242 @@
+// Cascading worker filter (Algo. 1): hang detection, count filters, theta,
+// ordering ablation, group slicing.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/scheduler.h"
+
+namespace hermes::core {
+namespace {
+
+class SchedulerTest : public ::testing::Test {
+ protected:
+  explicit SchedulerTest(uint32_t workers = 8) : workers_(workers) {
+    buf_.resize(WorkerStatusTable::required_bytes(workers_) + 64);
+    const auto addr = reinterpret_cast<uintptr_t>(buf_.data());
+    void* mem = reinterpret_cast<void*>((addr + 63) & ~uintptr_t{63});
+    wst_.emplace(WorkerStatusTable::init(mem, workers_));
+  }
+
+  // Make all workers look alive as of `now`.
+  void all_alive(SimTime now) {
+    for (WorkerId w = 0; w < workers_; ++w) wst_->update_avail(w, now);
+  }
+
+  uint32_t workers_;
+  std::vector<uint8_t> buf_;
+  std::optional<WorkerStatusTable> wst_;
+  HermesConfig cfg_{};
+};
+
+TEST_F(SchedulerTest, AllIdleWorkersSelected) {
+  Scheduler sched(cfg_);
+  const SimTime now = SimTime::millis(100);
+  all_alive(now);
+  const auto res = sched.schedule(*wst_, now);
+  EXPECT_EQ(res.selected, workers_);
+  EXPECT_EQ(res.bitmap, (1ull << workers_) - 1);
+  EXPECT_EQ(res.after_time, workers_);
+  EXPECT_EQ(res.after_conn, workers_);
+  EXPECT_EQ(res.after_event, workers_);
+}
+
+TEST_F(SchedulerTest, HungWorkerFilteredByTime) {
+  Scheduler sched(cfg_);
+  const SimTime now = SimTime::millis(500);
+  all_alive(now);
+  // Worker 3 last entered its loop long ago.
+  wst_->update_avail(3, now - cfg_.hang_threshold - SimTime::millis(1));
+  const auto res = sched.schedule(*wst_, now);
+  EXPECT_FALSE(bitmap_test(res.bitmap, 3));
+  EXPECT_EQ(res.after_time, workers_ - 1);
+  EXPECT_EQ(res.selected, workers_ - 1);
+}
+
+TEST_F(SchedulerTest, WorkerExactlyAtThresholdStillAlive) {
+  Scheduler sched(cfg_);
+  const SimTime now = SimTime::millis(500);
+  all_alive(now);
+  wst_->update_avail(5, now - cfg_.hang_threshold);  // == threshold: alive
+  const auto res = sched.schedule(*wst_, now);
+  EXPECT_TRUE(bitmap_test(res.bitmap, 5));
+}
+
+TEST_F(SchedulerTest, HighConnectionWorkerFiltered) {
+  Scheduler sched(cfg_);
+  const SimTime now = SimTime::millis(10);
+  all_alive(now);
+  // avg = (7*10 + 1000)/8 = 133.75; threshold = 200.6 with theta 0.5.
+  for (WorkerId w = 0; w < 7; ++w) wst_->add_connections(w, 10);
+  wst_->add_connections(7, 1000);
+  const auto res = sched.schedule(*wst_, now);
+  EXPECT_FALSE(bitmap_test(res.bitmap, 7));
+  EXPECT_EQ(res.selected, 7u);
+}
+
+TEST_F(SchedulerTest, BusyWorkerFilteredByPendingEvents) {
+  Scheduler sched(cfg_);
+  const SimTime now = SimTime::millis(10);
+  all_alive(now);
+  for (WorkerId w = 0; w < 7; ++w) wst_->add_pending(w, 2);
+  wst_->add_pending(7, 500);
+  const auto res = sched.schedule(*wst_, now);
+  EXPECT_FALSE(bitmap_test(res.bitmap, 7));
+}
+
+TEST_F(SchedulerTest, ThetaWidensTheNet) {
+  // Metric values 0..7: avg 3.5. theta 0 keeps < 3.5 (ids 0-3);
+  // theta 1.0 keeps < 7 (ids 0-6).
+  const SimTime now = SimTime::millis(10);
+  all_alive(now);
+  for (WorkerId w = 0; w < workers_; ++w) wst_->add_connections(w, w);
+
+  cfg_.theta_ratio = 0.0;
+  const auto narrow = Scheduler(cfg_).schedule(*wst_, now);
+  EXPECT_EQ(narrow.selected, 4u);
+
+  cfg_.theta_ratio = 1.0;
+  const auto wide = Scheduler(cfg_).schedule(*wst_, now);
+  EXPECT_EQ(wide.selected, 7u);
+  EXPECT_GT(wide.selected, narrow.selected);
+}
+
+TEST_F(SchedulerTest, AllEqualMetricsKeepEveryoneEvenWithZeroTheta) {
+  cfg_.theta_ratio = 0.0;
+  Scheduler sched(cfg_);
+  const SimTime now = SimTime::millis(10);
+  all_alive(now);
+  for (WorkerId w = 0; w < workers_; ++w) wst_->add_connections(w, 50);
+  const auto res = sched.schedule(*wst_, now);
+  EXPECT_EQ(res.selected, workers_);
+}
+
+TEST_F(SchedulerTest, AvgComputedOverSurvivorsNotAllWorkers) {
+  // One hung worker with a huge connection count must not poison the
+  // average used by the connection filter — the cascade recomputes the
+  // average over survivors of the previous stage.
+  Scheduler sched(cfg_);
+  const SimTime now = SimTime::seconds(10);
+  all_alive(now);
+  wst_->update_avail(0, SimTime::zero());  // hung
+  wst_->add_connections(0, 1'000'000);
+  for (WorkerId w = 1; w < workers_; ++w) wst_->add_connections(w, 100);
+  wst_->add_connections(1, 60);  // wrinkle: below-average survivor
+
+  const auto res = sched.schedule(*wst_, now);
+  EXPECT_FALSE(bitmap_test(res.bitmap, 0));
+  // Survivors' avg ~ 94; threshold ~141: all survivors kept.
+  EXPECT_EQ(res.selected, workers_ - 1);
+}
+
+TEST_F(SchedulerTest, AllHungYieldsEmptyBitmap) {
+  Scheduler sched(cfg_);
+  const SimTime now = SimTime::seconds(100);
+  all_alive(SimTime::millis(1));  // ages out by `now`
+  const auto res = sched.schedule(*wst_, now);
+  EXPECT_EQ(res.bitmap, 0u);
+  EXPECT_EQ(res.selected, 0u);
+  // The kernel side falls back to reuseport in this case (Algo. 2).
+}
+
+TEST_F(SchedulerTest, GroupSlicingIsolatesGroups) {
+  Scheduler sched(cfg_);
+  const SimTime now = SimTime::millis(10);
+  all_alive(now);
+  // Load up group-0 workers (0..3) heavily; schedule group 1 (4..7).
+  for (WorkerId w = 0; w < 4; ++w) wst_->add_connections(w, 1000);
+  const auto res = sched.schedule(*wst_, now, /*base=*/4, /*limit=*/4);
+  // Bitmap is group-relative: bits 0..3 = workers 4..7.
+  EXPECT_EQ(res.bitmap, 0b1111u);
+  EXPECT_EQ(res.selected, 4u);
+}
+
+TEST_F(SchedulerTest, CascadeOrderMatters) {
+  // A worker with many connections but no pending events, and another with
+  // few connections but many events: conn-then-event (paper order) vs
+  // event-then-conn produce different survivor sets when theta is small.
+  cfg_.theta_ratio = 0.0;
+  Scheduler sched(cfg_);
+  const SimTime now = SimTime::millis(10);
+  all_alive(now);
+  // conn:  {100, 0, 0, 0, 0, 0, 0, 0}
+  // event: {0, 100, 0, 0, 0, 0, 0, 0}
+  wst_->add_connections(0, 100);
+  wst_->add_pending(1, 100);
+
+  const auto paper = sched.schedule(*wst_, now);
+  EXPECT_FALSE(bitmap_test(paper.bitmap, 0));
+  EXPECT_FALSE(bitmap_test(paper.bitmap, 1));
+
+  // Only-connections order keeps the busy-event worker.
+  const FilterStage conn_only[] = {FilterStage::Time,
+                                   FilterStage::Connections};
+  const auto res = sched.schedule_with_order(*wst_, now, conn_only, 2);
+  EXPECT_FALSE(bitmap_test(res.bitmap, 0));
+  EXPECT_TRUE(bitmap_test(res.bitmap, 1));
+}
+
+TEST_F(SchedulerTest, IsHungPredicate) {
+  Scheduler sched(cfg_);
+  WorkerSnapshot snap;
+  snap.loop_enter_ns = 0;
+  EXPECT_FALSE(sched.is_hung(snap, cfg_.hang_threshold));
+  EXPECT_TRUE(
+      sched.is_hung(snap, cfg_.hang_threshold + SimTime::nanos(1)));
+}
+
+// Paper walkthrough (Fig. A4): three workers; W1 takes an expensive request
+// (busy=2, conn=1) and becomes unavailable; W2 and W3 remain schedulable.
+TEST(SchedulerWalkthroughTest, FigA4Steps) {
+  constexpr uint32_t kWorkers = 3;
+  std::vector<uint8_t> buf(WorkerStatusTable::required_bytes(kWorkers) + 64);
+  const auto addr = reinterpret_cast<uintptr_t>(buf.data());
+  auto wst = WorkerStatusTable::init(
+      reinterpret_cast<void*>((addr + 63) & ~uintptr_t{63}), kWorkers);
+  HermesConfig cfg;
+  cfg.hang_threshold = SimTime::millis(4);  // "unavailable if > 4t", t = 1ms
+  cfg.theta_ratio = 1.0;  // small worker counts need a wide offset
+  Scheduler sched(cfg);
+
+  // t0: all available, busy = conn = 0.
+  SimTime t = SimTime::millis(1);
+  for (WorkerId w = 0; w < kWorkers; ++w) wst.update_avail(w, t);
+  auto res = sched.schedule(wst, t);
+  EXPECT_EQ(res.selected, 3u);
+
+  // t1: W1 takes request a (2 events, conn 1).
+  wst.add_pending(0, 2);
+  wst.add_connections(0, 1);
+  res = sched.schedule(wst, t);
+  EXPECT_FALSE(bitmap_test(res.bitmap, 0));
+  EXPECT_TRUE(bitmap_test(res.bitmap, 1));
+  EXPECT_TRUE(bitmap_test(res.bitmap, 2));
+
+  // t2: W2 takes b1.
+  wst.add_pending(1, 2);
+  wst.add_connections(1, 1);
+  wst.update_avail(1, t);
+  res = sched.schedule(wst, t);
+  EXPECT_TRUE(bitmap_test(res.bitmap, 2));
+
+  // t3: W1 stuck on `a` past the threshold -> FilterTime removes it even
+  // after its pending count drops.
+  t = SimTime::millis(6);
+  wst.update_avail(1, t);
+  wst.update_avail(2, t);
+  wst.add_pending(1, -1);  // W2 processed one event
+  res = sched.schedule(wst, t);
+  EXPECT_FALSE(bitmap_test(res.bitmap, 0));  // hung
+
+  // t5: W1 finishes everything and re-enters the loop: available again.
+  t = SimTime::millis(8);
+  wst.add_pending(0, -2);
+  wst.update_avail(0, t);
+  wst.update_avail(1, t);
+  wst.update_avail(2, t);
+  res = sched.schedule(wst, t);
+  EXPECT_TRUE(bitmap_test(res.bitmap, 0));
+}
+
+}  // namespace
+}  // namespace hermes::core

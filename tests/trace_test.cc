@@ -1,0 +1,129 @@
+// Trace capture/replay: serialization round trips, replay semantics,
+// rate multipliers, and replay determinism across dispatch modes.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/trace.h"
+
+namespace hermes::sim {
+namespace {
+
+Trace tiny_trace() {
+  Trace t;
+  t.add({1000, 3, 2, 150.5, 1024, 5000});
+  t.add({2500, 1, 1, 80.0, 512, 0});
+  t.add({9000, 3, 5, 300.0, 2048, 20000});
+  return t;
+}
+
+TEST(TraceTest, SaveLoadRoundTrip) {
+  const Trace original = tiny_trace();
+  std::stringstream ss;
+  original.save(ss);
+
+  Trace loaded;
+  ASSERT_TRUE(Trace::load(ss, &loaded));
+  ASSERT_EQ(loaded.size(), original.size());
+  for (size_t i = 0; i < loaded.size(); ++i) {
+    EXPECT_EQ(loaded[i].offset_us, original[i].offset_us);
+    EXPECT_EQ(loaded[i].tenant, original[i].tenant);
+    EXPECT_EQ(loaded[i].requests, original[i].requests);
+    EXPECT_DOUBLE_EQ(loaded[i].cost_us, original[i].cost_us);
+    EXPECT_EQ(loaded[i].bytes, original[i].bytes);
+    EXPECT_DOUBLE_EQ(loaded[i].gap_us, original[i].gap_us);
+  }
+  EXPECT_EQ(loaded.duration(), SimTime::micros(9000));
+}
+
+TEST(TraceTest, LoadRejectsMalformedInput) {
+  Trace t;
+  std::stringstream bad1("not numbers at all\n");
+  EXPECT_FALSE(Trace::load(bad1, &t));
+  std::stringstream bad2("100 1 1 50 64 0\n50 1 1 50 64 0\n");  // unordered
+  EXPECT_FALSE(Trace::load(bad2, &t));
+  std::stringstream bad3("100 1 0 50 64 0\n");  // zero requests
+  EXPECT_FALSE(Trace::load(bad3, &t));
+}
+
+TEST(TraceTest, LoadSkipsCommentsAndBlankLines) {
+  std::stringstream ss("# header\n\n100 2 1 50 64 0\n# trailing\n");
+  Trace t;
+  ASSERT_TRUE(Trace::load(ss, &t));
+  EXPECT_EQ(t.size(), 1u);
+  EXPECT_EQ(t[0].tenant, 2u);
+}
+
+TEST(TraceTest, RecordMatchesPatternRate) {
+  Rng rng(5);
+  const TrafficPattern p = case_pattern(1, 8, 1.0);
+  const Trace t = Trace::record(p, SimTime::seconds(2), 8, rng);
+  EXPECT_NEAR(static_cast<double>(t.size()), p.cps * 2, p.cps * 2 * 0.1);
+  // Arrivals ordered, tenants in range.
+  for (size_t i = 1; i < t.size(); ++i) {
+    EXPECT_GE(t[i].offset_us, t[i - 1].offset_us);
+    EXPECT_LT(t[i].tenant, 8u);
+  }
+}
+
+TEST(TraceReplayTest, ReplaysEveryConnection) {
+  LbDevice::Config cfg;
+  cfg.mode = netsim::DispatchMode::HermesMode;
+  cfg.num_workers = 4;
+  cfg.num_ports = 4;
+  LbDevice lb(cfg);
+  const Trace t = tiny_trace();
+  TraceReplayer::replay(t, lb);
+  lb.eq().run_until(SimTime::seconds(2));
+  EXPECT_EQ(lb.totals().conns_opened, 3u);
+  EXPECT_EQ(lb.totals().requests_completed, 2u + 1u + 5u);
+}
+
+TEST(TraceReplayTest, RateMultiplierCompressesArrivals) {
+  auto arrivals_done_by = [](double rate, SimTime deadline) {
+    LbDevice::Config cfg;
+    cfg.mode = netsim::DispatchMode::Reuseport;
+    cfg.num_workers = 4;
+    cfg.num_ports = 4;
+    LbDevice lb(cfg);
+    Trace t;
+    for (int i = 0; i < 100; ++i) {
+      t.add({i * 10'000, 0, 1, 50.0, 64, 0});  // one per 10 ms, 1 s total
+    }
+    TraceReplayer::replay(t, lb, rate);
+    lb.eq().run_until(deadline);
+    return lb.totals().conns_opened;
+  };
+  // At 1x only half the trace has arrived by 500 ms; at 2x all of it.
+  EXPECT_NEAR(static_cast<double>(
+                  arrivals_done_by(1.0, SimTime::millis(500))),
+              50, 2);
+  EXPECT_EQ(arrivals_done_by(2.0, SimTime::millis(500)), 100u);
+  EXPECT_EQ(arrivals_done_by(3.0, SimTime::millis(334)), 100u);
+}
+
+TEST(TraceReplayTest, SameTraceAcrossModesIsApplesToApples) {
+  // The point of replay: identical per-connection work across modes, so
+  // differences are attributable to dispatch alone.
+  Rng rng(9);
+  const Trace t =
+      Trace::record(case_pattern(3, 4, 1.0), SimTime::seconds(2), 4, rng);
+  auto generated = [&](netsim::DispatchMode mode) {
+    LbDevice::Config cfg;
+    cfg.mode = mode;
+    cfg.num_workers = 4;
+    cfg.num_ports = 4;
+    LbDevice lb(cfg);
+    TraceReplayer::replay(t, lb);
+    lb.eq().run_until(SimTime::seconds(30));
+    return std::pair{lb.totals().conns_opened,
+                     lb.totals().requests_completed};
+  };
+  const auto hermes = generated(netsim::DispatchMode::HermesMode);
+  const auto exclusive = generated(netsim::DispatchMode::EpollExclusive);
+  EXPECT_EQ(hermes.first, exclusive.first);    // same connections offered
+  EXPECT_EQ(hermes.second, exclusive.second);  // same total work done
+}
+
+}  // namespace
+}  // namespace hermes::sim

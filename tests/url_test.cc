@@ -1,0 +1,77 @@
+// URL percent-decoding and query parsing.
+#include <gtest/gtest.h>
+
+#include "http/url.h"
+
+namespace hermes::http {
+namespace {
+
+TEST(PercentDecodeTest, PassThrough) {
+  EXPECT_EQ(*percent_decode("hello"), "hello");
+  EXPECT_EQ(*percent_decode(""), "");
+}
+
+TEST(PercentDecodeTest, DecodesEscapes) {
+  EXPECT_EQ(*percent_decode("a%20b"), "a b");
+  EXPECT_EQ(*percent_decode("%2Fpath%2f"), "/path/");
+  EXPECT_EQ(*percent_decode("%41%42%43"), "ABC");
+  EXPECT_EQ(*percent_decode("100%25"), "100%");
+}
+
+TEST(PercentDecodeTest, PlusHandling) {
+  EXPECT_EQ(*percent_decode("a+b", /*form_encoding=*/true), "a b");
+  EXPECT_EQ(*percent_decode("a+b", /*form_encoding=*/false), "a+b");
+}
+
+TEST(PercentDecodeTest, MalformedEscapesRejected) {
+  EXPECT_FALSE(percent_decode("%").has_value());
+  EXPECT_FALSE(percent_decode("abc%2").has_value());
+  EXPECT_FALSE(percent_decode("%gg").has_value());
+  EXPECT_FALSE(percent_decode("%2x").has_value());
+}
+
+TEST(PercentDecodeTest, DecodesNonAscii) {
+  const auto v = percent_decode("%C3%A9");  // é in UTF-8
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->size(), 2u);
+  EXPECT_EQ(static_cast<unsigned char>((*v)[0]), 0xC3);
+}
+
+TEST(ParseQueryTest, SplitsPairs) {
+  const auto q = parse_query("a=1&b=two&c=");
+  ASSERT_EQ(q.size(), 3u);
+  EXPECT_EQ(q[0], (std::pair<std::string, std::string>{"a", "1"}));
+  EXPECT_EQ(q[1].second, "two");
+  EXPECT_EQ(q[2].second, "");
+}
+
+TEST(ParseQueryTest, ValuelessKeysAndEmptySegments) {
+  const auto q = parse_query("flag&&x=1&");
+  ASSERT_EQ(q.size(), 2u);
+  EXPECT_EQ(q[0].first, "flag");
+  EXPECT_EQ(q[0].second, "");
+  EXPECT_EQ(q[1].first, "x");
+}
+
+TEST(ParseQueryTest, DecodesKeysAndValues) {
+  const auto q = parse_query("user%20name=jo+smith&q=a%26b");
+  ASSERT_EQ(q.size(), 2u);
+  EXPECT_EQ(q[0].first, "user name");
+  EXPECT_EQ(q[0].second, "jo smith");
+  EXPECT_EQ(q[1].second, "a&b");
+}
+
+TEST(ParseQueryTest, MalformedEscapeKeptRaw) {
+  const auto q = parse_query("k=%zz");
+  ASSERT_EQ(q.size(), 1u);
+  EXPECT_EQ(q[0].second, "%zz");  // kept, not dropped
+}
+
+TEST(QueryParamTest, FirstMatchWins) {
+  EXPECT_EQ(*query_param("a=1&b=2&a=3", "a"), "1");
+  EXPECT_FALSE(query_param("a=1", "b").has_value());
+  EXPECT_FALSE(query_param("", "a").has_value());
+}
+
+}  // namespace
+}  // namespace hermes::http

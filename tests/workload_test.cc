@@ -1,0 +1,162 @@
+// Workload generator: distribution algebra, case patterns, region mixes,
+// tenant model.
+#include <gtest/gtest.h>
+
+#include "simcore/histogram.h"
+#include "sim/workload.h"
+
+namespace hermes::sim {
+namespace {
+
+TEST(DistSpecTest, ConstIsConst) {
+  Rng rng(1);
+  const auto d = DistSpec::constant(42.5);
+  for (int i = 0; i < 10; ++i) EXPECT_DOUBLE_EQ(d.sample(rng), 42.5);
+}
+
+TEST(DistSpecTest, UniformBounds) {
+  Rng rng(2);
+  const auto d = DistSpec::uniform(10, 20);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = d.sample(rng);
+    EXPECT_GE(v, 10);
+    EXPECT_LE(v, 20);
+  }
+}
+
+TEST(DistSpecTest, ExponentialMean) {
+  Rng rng(3);
+  const auto d = DistSpec::exponential(100);
+  double sum = 0;
+  for (int i = 0; i < 100000; ++i) sum += d.sample(rng);
+  EXPECT_NEAR(sum / 100000, 100, 3);
+}
+
+TEST(DistSpecTest, LognormalMedian) {
+  Rng rng(4);
+  const auto d = DistSpec::lognormal(500, 0.8);
+  SampleSet ss;
+  for (int i = 0; i < 50000; ++i) ss.add(d.sample(rng));
+  EXPECT_NEAR(ss.quantile(0.5), 500, 25);
+}
+
+TEST(DistSpecTest, ParetoBounds) {
+  Rng rng(5);
+  const auto d = DistSpec::pareto(1.1, 100, 10000);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = d.sample(rng);
+    EXPECT_GE(v, 99.9);
+    EXPECT_LE(v, 10000.1);
+  }
+}
+
+TEST(CasePatternTest, CpsOrdering) {
+  // Cases 1-2 are "high CPS"; cases 3-4 "low CPS" (paper Table 3 rows).
+  for (double load : {1.0, 2.0, 3.0}) {
+    const auto c1 = case_pattern(1, 32, load);
+    const auto c2 = case_pattern(2, 32, load);
+    const auto c3 = case_pattern(3, 32, load);
+    const auto c4 = case_pattern(4, 32, load);
+    EXPECT_GT(c1.cps, c3.cps * 10);
+    EXPECT_GT(c1.cps, c4.cps * 10);
+    EXPECT_GT(c2.cps, c3.cps);
+  }
+}
+
+TEST(CasePatternTest, ProcessingTimeOrdering) {
+  Rng rng(6);
+  auto mean_cost = [&](int c) {
+    const auto p = case_pattern(c, 32, 1.0);
+    double sum = 0;
+    for (int i = 0; i < 20000; ++i) sum += p.request_cost_us.sample(rng);
+    return sum / 20000;
+  };
+  // "High avg processing time" cases 2, 4 dominate 1, 3.
+  EXPECT_GT(mean_cost(2), 5 * mean_cost(1));
+  EXPECT_GT(mean_cost(4), 5 * mean_cost(3));
+}
+
+TEST(CasePatternTest, LoadScalesCpsLinearly) {
+  const auto light = case_pattern(1, 32, 1.0);
+  const auto heavy = case_pattern(1, 32, 3.0);
+  EXPECT_DOUBLE_EQ(heavy.cps, 3 * light.cps);
+}
+
+TEST(CasePatternTest, Case3IsLongLived) {
+  Rng rng(7);
+  const auto p = case_pattern(3, 32, 1.0);
+  EXPECT_GT(p.requests_per_conn.sample(rng), 10);
+}
+
+TEST(CasePatternTest, InvalidCaseAborts) {
+  EXPECT_DEATH(case_pattern(0, 8, 1.0), "case_id");
+  EXPECT_DEATH(case_pattern(5, 8, 1.0), "case_id");
+}
+
+TEST(RegionMixTest, SharesSumToOne) {
+  for (const auto& mix : paper_region_mixes()) {
+    double sum = 0;
+    for (double s : mix.case_share) sum += s;
+    EXPECT_NEAR(sum, 1.0, 0.01) << mix.name;
+  }
+}
+
+TEST(RegionMixTest, DominantCasesMatchTable4) {
+  const auto mixes = paper_region_mixes();
+  // Region1/3/4 dominated by case 3; Region2 by case 4.
+  EXPECT_GT(mixes[0].case_share[2], 0.5);
+  EXPECT_GT(mixes[1].case_share[3], 0.5);
+  EXPECT_GT(mixes[2].case_share[2], 0.5);
+  EXPECT_GT(mixes[3].case_share[2], 0.5);
+}
+
+TEST(RegionTrafficTest, Region3HasHeaviestTail) {
+  // Region3's WebSocket share drives its P99 processing time (Table 1).
+  Rng rng(8);
+  const auto regions = paper_region_traffic();
+  auto p99_ms = [&](const RegionTraffic& r) {
+    SampleSet ss;
+    for (int i = 0; i < 40000; ++i) {
+      const bool ws = rng.bernoulli(r.websocket_fraction);
+      ss.add(ws ? r.websocket_ms.sample(rng) : r.processing_ms.sample(rng));
+    }
+    return ss.quantile(0.99);
+  };
+  const double r1 = p99_ms(regions[0]);
+  const double r3 = p99_ms(regions[2]);
+  EXPECT_GT(r3, 10 * r1);
+}
+
+TEST(TenantModelTest, AssignsAllTenantsToValidCases) {
+  const auto mixes = paper_region_mixes();
+  const auto tm = TenantModel::from_mix(mixes[0], 64, 1.2);
+  ASSERT_EQ(tm.tenant_case.size(), 64u);
+  for (int c : tm.tenant_case) {
+    EXPECT_GE(c, 1);
+    EXPECT_LE(c, 4);
+  }
+}
+
+TEST(TenantModelTest, TopTenantsCarryMixShares) {
+  // The greedy assignment puts the heaviest tenants on the biggest shares:
+  // for Region2 (82% case 4), the rank-0 tenant must run case 4.
+  const auto mixes = paper_region_mixes();
+  const auto tm = TenantModel::from_mix(mixes[1], 32, 1.2);
+  EXPECT_EQ(tm.tenant_case[0], 4);
+}
+
+TEST(TenantModelTest, AggregateSharesApproximateMix) {
+  const auto mixes = paper_region_mixes();
+  const auto tm = TenantModel::from_mix(mixes[0], 128, 1.0);
+  ZipfSampler zipf(128, 1.0);
+  double share[5] = {};
+  for (uint32_t t = 0; t < 128; ++t) {
+    share[tm.tenant_case[t]] += zipf.pmf(t);
+  }
+  for (int c = 1; c <= 4; ++c) {
+    EXPECT_NEAR(share[c], mixes[0].case_share[c - 1], 0.08) << "case " << c;
+  }
+}
+
+}  // namespace
+}  // namespace hermes::sim

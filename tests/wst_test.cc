@@ -1,0 +1,200 @@
+// Worker Status Table: layout, hooks, lock-free concurrency (threads), and
+// real multi-process sharing via fork() + shared memory.
+#include <gtest/gtest.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "core/event_loop_hooks.h"
+#include "core/wst.h"
+#include "shm/shm_region.h"
+
+namespace hermes::core {
+namespace {
+
+std::vector<uint8_t> aligned_buffer(uint32_t workers) {
+  std::vector<uint8_t> buf(WorkerStatusTable::required_bytes(workers) + 64);
+  return buf;
+}
+void* align64(std::vector<uint8_t>& buf) {
+  const auto addr = reinterpret_cast<uintptr_t>(buf.data());
+  return reinterpret_cast<void*>((addr + 63) & ~uintptr_t{63});
+}
+
+TEST(WstLayoutTest, SlotIsOneCacheLine) {
+  EXPECT_EQ(sizeof(WorkerSlot), 64u);
+  EXPECT_EQ(alignof(WorkerSlot), 64u);
+}
+
+TEST(WstLayoutTest, RequiredBytesScalesWithWorkers) {
+  EXPECT_EQ(WorkerStatusTable::required_bytes(1),
+            WorkerStatusTable::required_bytes(0) + 64);
+  EXPECT_GE(WorkerStatusTable::required_bytes(32), 32 * 64u);
+}
+
+TEST(WstTest, InitZeroesAllSlots) {
+  auto buf = aligned_buffer(8);
+  auto wst = WorkerStatusTable::init(align64(buf), 8);
+  EXPECT_EQ(wst.num_workers(), 8u);
+  for (WorkerId w = 0; w < 8; ++w) {
+    const auto s = wst.read(w);
+    EXPECT_EQ(s.loop_enter_ns, 0);
+    EXPECT_EQ(s.pending_events, 0);
+    EXPECT_EQ(s.connections, 0);
+  }
+}
+
+TEST(WstTest, UpdatesAreVisiblePerWorker) {
+  auto buf = aligned_buffer(4);
+  auto wst = WorkerStatusTable::init(align64(buf), 4);
+  wst.update_avail(2, SimTime::millis(7));
+  wst.add_pending(2, 5);
+  wst.add_pending(2, -2);
+  wst.add_connections(2, 3);
+  const auto s = wst.read(2);
+  EXPECT_EQ(s.loop_enter_ns, SimTime::millis(7).ns());
+  EXPECT_EQ(s.pending_events, 3);
+  EXPECT_EQ(s.connections, 3);
+  // Other workers untouched.
+  EXPECT_EQ(wst.read(1).pending_events, 0);
+}
+
+TEST(WstTest, AttachSeesInitState) {
+  auto buf = aligned_buffer(4);
+  void* mem = align64(buf);
+  auto wst = WorkerStatusTable::init(mem, 4);
+  wst.add_connections(1, 42);
+
+  auto other = WorkerStatusTable::attach(mem);
+  EXPECT_EQ(other.num_workers(), 4u);
+  EXPECT_EQ(other.connections(1), 42);
+  other.add_connections(1, 1);
+  EXPECT_EQ(wst.connections(1), 43);
+}
+
+TEST(WstDeathTest, AttachToGarbageAborts) {
+  alignas(64) static uint8_t garbage[256] = {};
+  EXPECT_DEATH(WorkerStatusTable::attach(garbage), "magic");
+}
+
+TEST(WstDeathTest, MisalignedInitAborts) {
+  auto buf = aligned_buffer(2);
+  auto* misaligned = static_cast<uint8_t*>(align64(buf)) + 8;
+  EXPECT_DEATH(WorkerStatusTable::init(misaligned, 2), "aligned");
+}
+
+TEST(HooksTest, MirrorsFig9Instrumentation) {
+  auto buf = aligned_buffer(2);
+  auto wst = WorkerStatusTable::init(align64(buf), 2);
+  EventLoopHooks hooks(wst, 1);
+
+  hooks.on_loop_enter(SimTime::millis(1));
+  hooks.on_events_returned(4);
+  hooks.on_event_processed();
+  hooks.on_conn_open();
+  hooks.on_conn_open();
+  hooks.on_conn_close();
+
+  const auto s = wst.read(1);
+  EXPECT_EQ(s.loop_enter_ns, SimTime::millis(1).ns());
+  EXPECT_EQ(s.pending_events, 3);
+  EXPECT_EQ(s.connections, 1);
+  EXPECT_EQ(wst.loop_iterations(1), 1u);
+  // Worker 0 untouched.
+  EXPECT_EQ(wst.read(0).loop_enter_ns, 0);
+}
+
+TEST(HooksTest, ZeroEventsReturnedIsNoop) {
+  auto buf = aligned_buffer(1);
+  auto wst = WorkerStatusTable::init(align64(buf), 1);
+  EventLoopHooks hooks(wst, 0);
+  hooks.on_events_returned(0);
+  EXPECT_EQ(wst.pending_events(0), 0);
+}
+
+// Lock-free concurrency: N writer threads hammer their own slots while a
+// reader scans; final sums must be exact (per-slot atomicity) and the
+// reader must never observe an impossible (torn) value.
+TEST(WstConcurrencyTest, ParallelWritersDisjointSlots) {
+  constexpr uint32_t kWorkers = 8;
+  constexpr int kIters = 20000;
+  auto buf = aligned_buffer(kWorkers);
+  auto wst = WorkerStatusTable::init(align64(buf), kWorkers);
+
+  std::atomic<bool> stop{false};
+  std::atomic<bool> torn{false};
+  std::thread reader([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      for (WorkerId w = 0; w < kWorkers; ++w) {
+        const auto s = wst.read(w);
+        if (s.pending_events < 0 || s.connections < 0) {
+          torn.store(true);
+        }
+      }
+    }
+  });
+
+  std::vector<std::thread> writers;
+  for (WorkerId w = 0; w < kWorkers; ++w) {
+    writers.emplace_back([&wst, w] {
+      for (int i = 0; i < kIters; ++i) {
+        wst.add_pending(w, 2);
+        wst.add_pending(w, -1);
+        wst.add_connections(w, 1);
+        wst.update_avail(w, SimTime::nanos(i));
+      }
+    });
+  }
+  for (auto& t : writers) t.join();
+  stop.store(true, std::memory_order_release);
+  reader.join();
+
+  EXPECT_FALSE(torn.load());
+  for (WorkerId w = 0; w < kWorkers; ++w) {
+    EXPECT_EQ(wst.pending_events(w), kIters);
+    EXPECT_EQ(wst.connections(w), kIters);
+    EXPECT_EQ(wst.read(w).loop_enter_ns, kIters - 1);
+    EXPECT_EQ(wst.loop_iterations(w), static_cast<uint64_t>(kIters));
+  }
+}
+
+// The real thing: forked children share the WST through an anonymous
+// MAP_SHARED region, exactly as production workers share it through shm.
+TEST(WstProcessTest, ForkedWorkersShareTable) {
+  constexpr uint32_t kWorkers = 2;
+  constexpr int kIters = 5000;
+  auto region = shm::ShmRegion::create_anonymous(
+      WorkerStatusTable::required_bytes(kWorkers));
+  auto wst = WorkerStatusTable::init(region.data(), kWorkers);
+
+  for (WorkerId w = 0; w < kWorkers; ++w) {
+    const pid_t pid = fork();
+    ASSERT_GE(pid, 0);
+    if (pid == 0) {
+      // Child: attach and update own slot.
+      auto child_wst = WorkerStatusTable::attach(region.data());
+      for (int i = 0; i < kIters; ++i) {
+        child_wst.add_connections(w, 1);
+        child_wst.add_pending(w, 1);
+        child_wst.update_avail(w, SimTime::nanos(i + 1));
+      }
+      _exit(0);
+    }
+  }
+  for (WorkerId w = 0; w < kWorkers; ++w) {
+    int status = 0;
+    ASSERT_GT(wait(&status), 0);
+    ASSERT_TRUE(WIFEXITED(status) && WEXITSTATUS(status) == 0);
+  }
+  for (WorkerId w = 0; w < kWorkers; ++w) {
+    EXPECT_EQ(wst.connections(w), kIters);
+    EXPECT_EQ(wst.pending_events(w), kIters);
+    EXPECT_EQ(wst.read(w).loop_enter_ns, kIters);
+  }
+}
+
+}  // namespace
+}  // namespace hermes::core
