@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_bitmap_sync.dir/ablation_bitmap_sync.cc.o"
+  "CMakeFiles/ablation_bitmap_sync.dir/ablation_bitmap_sync.cc.o.d"
+  "ablation_bitmap_sync"
+  "ablation_bitmap_sync.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_bitmap_sync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_closed_loop.dir/ablation_closed_loop.cc.o"
+  "CMakeFiles/ablation_closed_loop.dir/ablation_closed_loop.cc.o.d"
+  "ablation_closed_loop"
+  "ablation_closed_loop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_closed_loop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_sched_placement.dir/ablation_sched_placement.cc.o"
+  "CMakeFiles/ablation_sched_placement.dir/ablation_sched_placement.cc.o.d"
+  "ablation_sched_placement"
+  "ablation_sched_placement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_sched_placement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_syn_retry.dir/ablation_syn_retry.cc.o"
+  "CMakeFiles/ablation_syn_retry.dir/ablation_syn_retry.cc.o.d"
+  "ablation_syn_retry"
+  "ablation_syn_retry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_syn_retry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_user_dispatcher.dir/ablation_user_dispatcher.cc.o"
+  "CMakeFiles/ablation_user_dispatcher.dir/ablation_user_dispatcher.cc.o.d"
+  "ablation_user_dispatcher"
+  "ablation_user_dispatcher.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_user_dispatcher.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

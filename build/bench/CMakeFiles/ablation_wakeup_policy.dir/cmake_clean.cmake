@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_wakeup_policy.dir/ablation_wakeup_policy.cc.o"
+  "CMakeFiles/ablation_wakeup_policy.dir/ablation_wakeup_policy.cc.o.d"
+  "ablation_wakeup_policy"
+  "ablation_wakeup_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_wakeup_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/appendixC_sandbox.dir/appendixC_sandbox.cc.o"
+  "CMakeFiles/appendixC_sandbox.dir/appendixC_sandbox.cc.o.d"
+  "appendixC_sandbox"
+  "appendixC_sandbox.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/appendixC_sandbox.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_cluster.dir/fig11_cluster.cc.o"
+  "CMakeFiles/fig11_cluster.dir/fig11_cluster.cc.o.d"
+  "fig11_cluster"
+  "fig11_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

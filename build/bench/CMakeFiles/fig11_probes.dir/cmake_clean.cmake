@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_probes.dir/fig11_probes.cc.o"
+  "CMakeFiles/fig11_probes.dir/fig11_probes.cc.o.d"
+  "fig11_probes"
+  "fig11_probes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_probes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

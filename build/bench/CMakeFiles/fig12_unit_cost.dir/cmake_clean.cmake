@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_unit_cost.dir/fig12_unit_cost.cc.o"
+  "CMakeFiles/fig12_unit_cost.dir/fig12_unit_cost.cc.o.d"
+  "fig12_unit_cost"
+  "fig12_unit_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_unit_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

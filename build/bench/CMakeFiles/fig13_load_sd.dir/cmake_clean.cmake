@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_load_sd.dir/fig13_load_sd.cc.o"
+  "CMakeFiles/fig13_load_sd.dir/fig13_load_sd.cc.o.d"
+  "fig13_load_sd"
+  "fig13_load_sd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_load_sd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

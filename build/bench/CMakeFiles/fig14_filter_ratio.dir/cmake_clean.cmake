@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_filter_ratio.dir/fig14_filter_ratio.cc.o"
+  "CMakeFiles/fig14_filter_ratio.dir/fig14_filter_ratio.cc.o.d"
+  "fig14_filter_ratio"
+  "fig14_filter_ratio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_filter_ratio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_theta_sweep.dir/fig15_theta_sweep.cc.o"
+  "CMakeFiles/fig15_theta_sweep.dir/fig15_theta_sweep.cc.o.d"
+  "fig15_theta_sweep"
+  "fig15_theta_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_theta_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

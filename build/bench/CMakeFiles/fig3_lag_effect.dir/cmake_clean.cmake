@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_lag_effect.dir/fig3_lag_effect.cc.o"
+  "CMakeFiles/fig3_lag_effect.dir/fig3_lag_effect.cc.o.d"
+  "fig3_lag_effect"
+  "fig3_lag_effect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_lag_effect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

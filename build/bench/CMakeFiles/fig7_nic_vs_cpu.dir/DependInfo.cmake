@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig7_nic_vs_cpu.cc" "bench/CMakeFiles/fig7_nic_vs_cpu.dir/fig7_nic_vs_cpu.cc.o" "gcc" "bench/CMakeFiles/fig7_nic_vs_cpu.dir/fig7_nic_vs_cpu.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/hermes_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/hermes_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/bpf/CMakeFiles/hermes_bpf.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/hermes_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/http/CMakeFiles/hermes_http.dir/DependInfo.cmake"
+  "/root/repo/build/src/shm/CMakeFiles/hermes_shm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

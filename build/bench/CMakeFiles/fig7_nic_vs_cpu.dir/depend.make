@@ -1,0 +1,2 @@
+# Empty dependencies file for fig7_nic_vs_cpu.
+# This may be replaced when dependencies are built.

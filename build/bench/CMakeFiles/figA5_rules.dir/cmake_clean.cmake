@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figA5_rules.dir/figA5_rules.cc.o"
+  "CMakeFiles/figA5_rules.dir/figA5_rules.cc.o.d"
+  "figA5_rules"
+  "figA5_rules.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figA5_rules.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

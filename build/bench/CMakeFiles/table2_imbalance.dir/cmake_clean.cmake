@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_imbalance.dir/table2_imbalance.cc.o"
+  "CMakeFiles/table2_imbalance.dir/table2_imbalance.cc.o.d"
+  "table2_imbalance"
+  "table2_imbalance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_imbalance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

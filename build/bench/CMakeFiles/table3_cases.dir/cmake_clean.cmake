@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_cases.dir/table3_cases.cc.o"
+  "CMakeFiles/table3_cases.dir/table3_cases.cc.o.d"
+  "table3_cases"
+  "table3_cases.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_cases.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

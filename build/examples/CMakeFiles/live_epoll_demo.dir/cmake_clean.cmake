@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/live_epoll_demo.dir/live_epoll_demo.cpp.o"
+  "CMakeFiles/live_epoll_demo.dir/live_epoll_demo.cpp.o.d"
+  "live_epoll_demo"
+  "live_epoll_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/live_epoll_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_tenant_lb.dir/multi_tenant_lb.cpp.o"
+  "CMakeFiles/multi_tenant_lb.dir/multi_tenant_lb.cpp.o.d"
+  "multi_tenant_lb"
+  "multi_tenant_lb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_tenant_lb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

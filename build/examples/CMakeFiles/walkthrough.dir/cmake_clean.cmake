@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/walkthrough.dir/walkthrough.cpp.o"
+  "CMakeFiles/walkthrough.dir/walkthrough.cpp.o.d"
+  "walkthrough"
+  "walkthrough.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/walkthrough.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bpf/assembler.cc" "src/bpf/CMakeFiles/hermes_bpf.dir/assembler.cc.o" "gcc" "src/bpf/CMakeFiles/hermes_bpf.dir/assembler.cc.o.d"
+  "/root/repo/src/bpf/insn.cc" "src/bpf/CMakeFiles/hermes_bpf.dir/insn.cc.o" "gcc" "src/bpf/CMakeFiles/hermes_bpf.dir/insn.cc.o.d"
+  "/root/repo/src/bpf/verifier.cc" "src/bpf/CMakeFiles/hermes_bpf.dir/verifier.cc.o" "gcc" "src/bpf/CMakeFiles/hermes_bpf.dir/verifier.cc.o.d"
+  "/root/repo/src/bpf/vm.cc" "src/bpf/CMakeFiles/hermes_bpf.dir/vm.cc.o" "gcc" "src/bpf/CMakeFiles/hermes_bpf.dir/vm.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hermes_bpf.dir/assembler.cc.o"
+  "CMakeFiles/hermes_bpf.dir/assembler.cc.o.d"
+  "CMakeFiles/hermes_bpf.dir/insn.cc.o"
+  "CMakeFiles/hermes_bpf.dir/insn.cc.o.d"
+  "CMakeFiles/hermes_bpf.dir/verifier.cc.o"
+  "CMakeFiles/hermes_bpf.dir/verifier.cc.o.d"
+  "CMakeFiles/hermes_bpf.dir/vm.cc.o"
+  "CMakeFiles/hermes_bpf.dir/vm.cc.o.d"
+  "libhermes_bpf.a"
+  "libhermes_bpf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hermes_bpf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/dispatch_prog.cc" "src/core/CMakeFiles/hermes_core.dir/dispatch_prog.cc.o" "gcc" "src/core/CMakeFiles/hermes_core.dir/dispatch_prog.cc.o.d"
+  "/root/repo/src/core/hermes.cc" "src/core/CMakeFiles/hermes_core.dir/hermes.cc.o" "gcc" "src/core/CMakeFiles/hermes_core.dir/hermes.cc.o.d"
+  "/root/repo/src/core/scheduler.cc" "src/core/CMakeFiles/hermes_core.dir/scheduler.cc.o" "gcc" "src/core/CMakeFiles/hermes_core.dir/scheduler.cc.o.d"
+  "/root/repo/src/core/wst.cc" "src/core/CMakeFiles/hermes_core.dir/wst.cc.o" "gcc" "src/core/CMakeFiles/hermes_core.dir/wst.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bpf/CMakeFiles/hermes_bpf.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hermes_core.dir/dispatch_prog.cc.o"
+  "CMakeFiles/hermes_core.dir/dispatch_prog.cc.o.d"
+  "CMakeFiles/hermes_core.dir/hermes.cc.o"
+  "CMakeFiles/hermes_core.dir/hermes.cc.o.d"
+  "CMakeFiles/hermes_core.dir/scheduler.cc.o"
+  "CMakeFiles/hermes_core.dir/scheduler.cc.o.d"
+  "CMakeFiles/hermes_core.dir/wst.cc.o"
+  "CMakeFiles/hermes_core.dir/wst.cc.o.d"
+  "libhermes_core.a"
+  "libhermes_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hermes_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hermes_http.dir/parser.cc.o"
+  "CMakeFiles/hermes_http.dir/parser.cc.o.d"
+  "CMakeFiles/hermes_http.dir/router.cc.o"
+  "CMakeFiles/hermes_http.dir/router.cc.o.d"
+  "libhermes_http.a"
+  "libhermes_http.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hermes_http.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hermes_netsim.dir/netstack.cc.o"
+  "CMakeFiles/hermes_netsim.dir/netstack.cc.o.d"
+  "libhermes_netsim.a"
+  "libhermes_netsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hermes_netsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hermes_shm.dir/fd_channel.cc.o"
+  "CMakeFiles/hermes_shm.dir/fd_channel.cc.o.d"
+  "CMakeFiles/hermes_shm.dir/shm_region.cc.o"
+  "CMakeFiles/hermes_shm.dir/shm_region.cc.o.d"
+  "libhermes_shm.a"
+  "libhermes_shm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hermes_shm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hermes_sim.dir/lb.cc.o"
+  "CMakeFiles/hermes_sim.dir/lb.cc.o.d"
+  "CMakeFiles/hermes_sim.dir/trace.cc.o"
+  "CMakeFiles/hermes_sim.dir/trace.cc.o.d"
+  "CMakeFiles/hermes_sim.dir/worker.cc.o"
+  "CMakeFiles/hermes_sim.dir/worker.cc.o.d"
+  "CMakeFiles/hermes_sim.dir/workload.cc.o"
+  "CMakeFiles/hermes_sim.dir/workload.cc.o.d"
+  "libhermes_sim.a"
+  "libhermes_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hermes_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/backend_pool_test.dir/backend_pool_test.cc.o"
+  "CMakeFiles/backend_pool_test.dir/backend_pool_test.cc.o.d"
+  "backend_pool_test"
+  "backend_pool_test.pdb"
+  "backend_pool_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/backend_pool_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

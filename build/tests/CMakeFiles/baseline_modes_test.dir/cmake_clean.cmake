@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baseline_modes_test.dir/baseline_modes_test.cc.o"
+  "CMakeFiles/baseline_modes_test.dir/baseline_modes_test.cc.o.d"
+  "baseline_modes_test"
+  "baseline_modes_test.pdb"
+  "baseline_modes_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baseline_modes_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bpf_alu32_test.dir/bpf_alu32_test.cc.o"
+  "CMakeFiles/bpf_alu32_test.dir/bpf_alu32_test.cc.o.d"
+  "bpf_alu32_test"
+  "bpf_alu32_test.pdb"
+  "bpf_alu32_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bpf_alu32_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bpf_disasm_test.dir/bpf_disasm_test.cc.o"
+  "CMakeFiles/bpf_disasm_test.dir/bpf_disasm_test.cc.o.d"
+  "bpf_disasm_test"
+  "bpf_disasm_test.pdb"
+  "bpf_disasm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bpf_disasm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

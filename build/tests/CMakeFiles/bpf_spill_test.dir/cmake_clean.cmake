@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bpf_spill_test.dir/bpf_spill_test.cc.o"
+  "CMakeFiles/bpf_spill_test.dir/bpf_spill_test.cc.o.d"
+  "bpf_spill_test"
+  "bpf_spill_test.pdb"
+  "bpf_spill_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bpf_spill_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

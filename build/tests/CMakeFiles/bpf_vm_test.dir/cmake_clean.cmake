@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bpf_vm_test.dir/bpf_vm_test.cc.o"
+  "CMakeFiles/bpf_vm_test.dir/bpf_vm_test.cc.o.d"
+  "bpf_vm_test"
+  "bpf_vm_test.pdb"
+  "bpf_vm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bpf_vm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

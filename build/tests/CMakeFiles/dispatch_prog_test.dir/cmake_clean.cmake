@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dispatch_prog_test.dir/dispatch_prog_test.cc.o"
+  "CMakeFiles/dispatch_prog_test.dir/dispatch_prog_test.cc.o.d"
+  "dispatch_prog_test"
+  "dispatch_prog_test.pdb"
+  "dispatch_prog_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dispatch_prog_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hermes_runtime_test.dir/hermes_runtime_test.cc.o"
+  "CMakeFiles/hermes_runtime_test.dir/hermes_runtime_test.cc.o.d"
+  "hermes_runtime_test"
+  "hermes_runtime_test.pdb"
+  "hermes_runtime_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hermes_runtime_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_lb_test.dir/multi_lb_test.cc.o"
+  "CMakeFiles/multi_lb_test.dir/multi_lb_test.cc.o.d"
+  "multi_lb_test"
+  "multi_lb_test.pdb"
+  "multi_lb_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_lb_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

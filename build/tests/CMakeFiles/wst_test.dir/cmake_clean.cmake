@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wst_test.dir/wst_test.cc.o"
+  "CMakeFiles/wst_test.dir/wst_test.cc.o.d"
+  "wst_test"
+  "wst_test.pdb"
+  "wst_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wst_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
