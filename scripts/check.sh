@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Full verification sweep: plain build + all ctest labels, then optional
+# sanitizer builds.
+#
+#   scripts/check.sh                       # plain build, all tests
+#   scripts/check.sh address undefined     # plain + ASan + UBSan sweeps
+#   scripts/check.sh thread                # plain + TSan sweep
+#   LABELS=torture scripts/check.sh        # restrict to one ctest label
+#
+# Each sanitizer gets its own build tree (build-<san>/) so the trees can be
+# reused incrementally across runs.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS=${JOBS:-$(nproc 2>/dev/null || echo 4)}
+LABELS=${LABELS:-'unit|property|torture'}
+
+run_suite() {
+  local dir=$1 san=$2
+  echo "==> configure ${dir} ${san:+(sanitize=$san)}"
+  cmake -B "$dir" -S . ${san:+-DHERMES_SANITIZE="$san"} >/dev/null
+  echo "==> build ${dir}"
+  cmake --build "$dir" -j "$JOBS"
+  echo "==> ctest ${dir} -L '${LABELS}'"
+  ctest --test-dir "$dir" --output-on-failure -j "$JOBS" -L "$LABELS"
+}
+
+run_suite build ""
+for san in "$@"; do
+  case "$san" in
+    address|undefined|thread) run_suite "build-$san" "$san" ;;
+    *) echo "unknown sanitizer '$san' (want address|undefined|thread)" >&2
+       exit 2 ;;
+  esac
+done
+echo "==> all suites passed"

@@ -139,6 +139,15 @@ class VerifierImpl {
       return fail(res, 0, "program too long");
     }
 
+    // Structural prescan: every instruction's register fields must name real
+    // registers, even where the op ignores them — the VM indexes regs[] by
+    // both fields unconditionally, so a stray byte would read out of bounds.
+    for (size_t pc = 0; pc < prog_.size(); ++pc) {
+      if (prog_[pc].dst >= kNumRegs || prog_[pc].src >= kNumRegs) {
+        return fail(res, pc, "bad register field");
+      }
+    }
+
     // Entry state: r1 = ctx, r10 = frame pointer.
     AbsState entry;
     entry.reachable = true;

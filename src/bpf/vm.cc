@@ -68,6 +68,10 @@ Vm::RunResult Vm::run(const LoadedProgram& lp, ReuseportCtx& ctx) const {
     const Insn& in = prog[pc];
     ++res.insns_executed;
 
+    // Both fields are indexed below regardless of op; the verifier's
+    // structural prescan guarantees this for loaded programs.
+    HERMES_CHECK_MSG(in.dst < kNumRegs && in.src < kNumRegs,
+                     "bpf vm: bad register field");
     uint64_t& dst = regs[in.dst];
     const uint64_t src = regs[in.src];
     const auto imm = static_cast<uint64_t>(in.imm);

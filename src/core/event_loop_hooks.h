@@ -18,6 +18,7 @@
 // points are tested once and reused.
 #pragma once
 
+#include "core/fault_injection.h"
 #include "core/wst.h"
 #include "util/types.h"
 
@@ -25,13 +26,22 @@ namespace hermes::core {
 
 class EventLoopHooks {
  public:
-  EventLoopHooks(WorkerStatusTable wst, WorkerId self)
-      : wst_(wst), self_(self) {}
+  EventLoopHooks(WorkerStatusTable wst, WorkerId self,
+                 FaultInjector* faults = nullptr)
+      : wst_(wst), self_(self), faults_(faults) {}
 
   WorkerId self() const { return self_; }
 
   // Fig. 9 line 12: entering the while loop (hang detection heartbeat).
-  void on_loop_enter(SimTime now) { wst_.update_avail(self_, now); }
+  // A fault injector may lag the timestamp or suppress the write — a
+  // negative adjusted time means "the worker wedged before this update".
+  void on_loop_enter(SimTime now) {
+    if (faults_ != nullptr) {
+      now = faults_->on_avail_update(self_, now);
+      if (now < SimTime::zero()) return;
+    }
+    wst_.update_avail(self_, now);
+  }
 
   // Fig. 9 line 14: epoll_wait returned `n` events.
   void on_events_returned(int64_t n) {
@@ -50,6 +60,7 @@ class EventLoopHooks {
  private:
   WorkerStatusTable wst_;
   WorkerId self_;
+  FaultInjector* faults_ = nullptr;  // nullable; not owned
 };
 
 }  // namespace hermes::core

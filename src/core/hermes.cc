@@ -32,6 +32,7 @@ HermesRuntime::HermesRuntime(const Options& opts)
         }
         return WorkerStatusTable::init(mem, opts.num_workers);
       }()),
+      faults_(opts.faults),
       scheduler_(opts.config),
       sel_map_(std::make_unique<bpf::ArrayMap>(num_groups_, sizeof(uint64_t))) {
   HERMES_CHECK(num_workers_ > 0);
@@ -50,6 +51,10 @@ ScheduleResult HermesRuntime::schedule_and_sync(WorkerId self, SimTime now) {
   // Userspace -> kernel decision sync: one atomic 8-byte store into the
   // eBPF array map. Multiple workers may race here; last write wins, which
   // is exactly the paper's lock-free design (freshest status is best).
+  if (faults_ != nullptr && !faults_->on_bitmap_sync(self, group, res.bitmap)) {
+    ++counters_.syncs_dropped;
+    return res;
+  }
   sel_map_->store_u64(group, res.bitmap);
   ++counters_.syncs;
   return res;

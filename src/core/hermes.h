@@ -27,6 +27,7 @@
 #include "core/config.h"
 #include "core/dispatch_prog.h"
 #include "core/event_loop_hooks.h"
+#include "core/fault_injection.h"
 #include "core/scheduler.h"
 #include "core/wst.h"
 
@@ -47,6 +48,9 @@ class HermesRuntime {
     // 64-byte aligned, >= WorkerStatusTable::required_bytes(num_workers)).
     // When null the runtime allocates private memory (single-process use).
     void* wst_memory = nullptr;
+    // Optional fault-injection hooks (tests only; not owned). Null means
+    // every hook site is a branch-not-taken.
+    FaultInjector* faults = nullptr;
   };
 
   explicit HermesRuntime(const Options& opts);
@@ -63,7 +67,9 @@ class HermesRuntime {
   bpf::ArrayMap& sel_map() { return *sel_map_; }
 
   // Stage-1 instrumentation handle for a worker (Fig. 9).
-  EventLoopHooks hooks_for(WorkerId w) { return EventLoopHooks{wst_, w}; }
+  EventLoopHooks hooks_for(WorkerId w) {
+    return EventLoopHooks{wst_, w, faults_};
+  }
 
   // Stage 2, executed by worker `self` at the end of its event loop:
   // cascade-filter the worker's own group and atomically publish the
@@ -84,6 +90,7 @@ class HermesRuntime {
     uint64_t schedules = 0;      // scheduler executions (Fig. 14)
     uint64_t syncs = 0;          // map-update "syscalls" (Table 5)
     uint64_t workers_selected_sum = 0;  // for avg pass ratio (Fig. 14)
+    uint64_t syncs_dropped = 0;  // map updates suppressed by fault injection
   };
   const Counters& counters() const { return counters_; }
 
@@ -93,6 +100,7 @@ class HermesRuntime {
   uint32_t num_groups_;
   std::vector<uint8_t> owned_wst_;  // empty when external memory is used
   WorkerStatusTable wst_;
+  FaultInjector* faults_;  // nullable; not owned
   Scheduler scheduler_;
   bpf::Vm vm_;
   std::unique_ptr<bpf::ArrayMap> sel_map_;

@@ -29,6 +29,7 @@ LbDevice::LbDevice(Config cfg)
     core::HermesRuntime::Options opts;
     opts.config = cfg_.hermes;
     opts.num_workers = cfg_.num_workers;
+    opts.faults = cfg_.faults;
     hermes_.emplace(opts);
     hermes_->vm().set_time_fn(
         [this] { return static_cast<uint64_t>(eq_.now().ns()); });
@@ -161,18 +162,19 @@ void LbDevice::start_pattern(const TrafficPattern& pattern,
                              TenantId first_tenant, uint32_t tenant_span,
                              SimTime until) {
   HERMES_CHECK(pattern.cps > 0 && tenant_span > 0);
-  // Poisson arrivals: schedule one arrival; each arrival schedules the next.
-  auto arrival = std::make_shared<std::function<void()>>();
-  *arrival = [this, pattern, first_tenant, tenant_span, until, arrival] {
-    if (eq_.now() > until) return;
-    const TenantId tenant =
-        first_tenant + static_cast<TenantId>(rng_.next_below(tenant_span));
-    open_connection(tenant, plan_from_pattern(pattern, tenant));
-    const double gap_s = rng_.exponential(1.0 / pattern.cps);
-    eq_.schedule_after(SimTime::from_seconds_f(gap_s), *arrival);
-  };
+  // Poisson arrivals: schedule one arrival; each arrival re-arms a copy of
+  // itself (Rearming — see event_queue.h for why not a shared_ptr closure).
+  Rearming arrival(
+      [this, pattern, first_tenant, tenant_span, until](auto& self) {
+        if (eq_.now() > until) return;
+        const TenantId tenant =
+            first_tenant + static_cast<TenantId>(rng_.next_below(tenant_span));
+        open_connection(tenant, plan_from_pattern(pattern, tenant));
+        const double gap_s = rng_.exponential(1.0 / pattern.cps);
+        eq_.schedule_after(SimTime::from_seconds_f(gap_s), self);
+      });
   eq_.schedule_after(
-      SimTime::from_seconds_f(rng_.exponential(1.0 / pattern.cps)), *arrival);
+      SimTime::from_seconds_f(rng_.exponential(1.0 / pattern.cps)), arrival);
 }
 
 void LbDevice::start_tenant_mix(const TenantModel& tm, double total_cps,
@@ -186,17 +188,16 @@ void LbDevice::start_tenant_mix(const TenantModel& tm, double total_cps,
     patterns->push_back(case_pattern(c, workers_scale, load));
   }
   const double cps = total_cps * load;
-  auto arrival = std::make_shared<std::function<void()>>();
-  *arrival = [this, tm, zipf, patterns, cps, until, arrival] {
+  Rearming arrival([this, tm, zipf, patterns, cps, until](auto& self) {
     if (eq_.now() > until) return;
     const TenantId tenant = zipf->sample(rng_);
     const TrafficPattern& p = (*patterns)[tm.tenant_case[tenant] - 1];
     open_connection(tenant, plan_from_pattern(p, tenant));
     eq_.schedule_after(SimTime::from_seconds_f(rng_.exponential(1.0 / cps)),
-                       *arrival);
-  };
+                       self);
+  });
   eq_.schedule_after(SimTime::from_seconds_f(rng_.exponential(1.0 / cps)),
-                     *arrival);
+                     arrival);
 }
 
 void LbDevice::burst_all_connections(const DistSpec& cost_us, int k) {
@@ -299,14 +300,13 @@ LbDevice::Sample LbDevice::sample_now() {
 }
 
 void LbDevice::start_sampling(SimTime period, SimTime until) {
-  auto tick = std::make_shared<std::function<void()>>();
-  *tick = [this, period, until, tick] {
+  Rearming tick([this, period, until](auto& self) {
     sample_now();
     if (eq_.now() + period <= until) {
-      eq_.schedule_after(period, *tick);
+      eq_.schedule_after(period, self);
     }
-  };
-  eq_.schedule_after(period, *tick);
+  });
+  eq_.schedule_after(period, tick);
 }
 
 Request LbDevice::make_request(LiveConn& lc, SimTime arrival) {

@@ -38,6 +38,9 @@ class LbDevice {
     // retry amplification that deepens overload collapse.
     int syn_retries = 0;
     SimTime syn_retry_timeout = SimTime::seconds(1);
+    // Fault-injection hooks for the embedded Hermes runtime (torture tests;
+    // not owned, may be null). See core/fault_injection.h.
+    core::FaultInjector* faults = nullptr;
   };
 
   explicit LbDevice(Config cfg);

@@ -33,14 +33,13 @@ class Prober {
   }
 
   void start(SimTime until) {
-    auto tick = std::make_shared<std::function<void()>>();
-    *tick = [this, until, tick] {
+    Rearming tick([this, until](auto& self) {
       send_probe();
       if (lb_.eq().now() + cfg_.period <= until) {
-        lb_.eq().schedule_after(cfg_.period, *tick);
+        lb_.eq().schedule_after(cfg_.period, self);
       }
-    };
-    lb_.eq().schedule_after(cfg_.period, *tick);
+    });
+    lb_.eq().schedule_after(cfg_.period, tick);
   }
 
   void send_probe() {

@@ -123,4 +123,23 @@ class EventQueue {
   std::vector<uint64_t> cancelled_;
 };
 
+// A self-rescheduling event body. Wraps `f(self)` where `self` may be passed
+// back to schedule_at/schedule_after to re-arm the same body; every queue
+// entry owns its own copy of the captured state. Recurring events must use
+// this rather than the shared_ptr<function> self-capture idiom: a closure
+// holding a shared_ptr to itself is a refcount cycle that never frees once
+// the queue stops before the closure's final firing.
+template <class F>
+class Rearming {
+ public:
+  explicit Rearming(F f) : f_(std::move(f)) {}
+  void operator()() { f_(*this); }
+
+ private:
+  F f_;
+};
+
+template <class F>
+Rearming(F) -> Rearming<F>;
+
 }  // namespace hermes::sim

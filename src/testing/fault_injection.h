@@ -1,0 +1,114 @@
+// Scripted implementation of core::FaultInjector for torture tests.
+//
+// Faults are expressed as declarative knobs set before (or during) a run:
+//
+//   freeze_avail(w, from, until)  — worker w's heartbeat stops updating in
+//                                   [from, until): the signature of a hang
+//                                   that wedged *before* the avail write;
+//   lag_avail(w, lag)             — w's heartbeats are written `lag` old:
+//                                   a stale/skewed clock;
+//   drop_next_syncs(w, n)         — w's next n bitmap publishes are lost
+//                                   (dropped bpf() map-update syscalls);
+//   hold_syncs(group, n)          — the next n publishes into `group` are
+//                                   held back instead of applied; the test
+//                                   later calls release_held() to apply
+//                                   them LATE — a delayed, stale sync.
+//
+// Every decision is also counted, so invariant checkers can assert not
+// just that the system survived, but that the faults actually fired.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <vector>
+
+#include "bpf/maps.h"
+#include "core/fault_injection.h"
+#include "util/types.h"
+
+namespace hermes::testing {
+
+class ScriptedFaultInjector final : public core::FaultInjector {
+ public:
+  struct HeldSync {
+    WorkerId worker = 0;
+    uint32_t group = 0;
+    uint64_t bitmap = 0;
+  };
+
+  // ---- knobs -----------------------------------------------------------
+  void freeze_avail(WorkerId w, SimTime from, SimTime until) {
+    freezes_[w] = {from, until};
+  }
+  void lag_avail(WorkerId w, SimTime lag) { lags_[w] = lag; }
+  void drop_next_syncs(WorkerId w, uint32_t n) { drops_[w] += n; }
+  void hold_syncs(uint32_t group, uint32_t n) { holds_[group] += n; }
+
+  // Apply every held (delayed) sync to `sel`, oldest first — stale bitmaps
+  // overwriting fresh ones, the worst-case reordering of the lock-free
+  // last-write-wins publish. Returns how many were applied.
+  size_t release_held(bpf::ArrayMap& sel) {
+    size_t applied = 0;
+    for (const HeldSync& h : held_) {
+      sel.store_u64(h.group, h.bitmap);
+      ++applied;
+    }
+    held_.clear();
+    return applied;
+  }
+  const std::vector<HeldSync>& held() const { return held_; }
+
+  // ---- counters --------------------------------------------------------
+  struct Counts {
+    uint64_t avail_frozen = 0;
+    uint64_t avail_lagged = 0;
+    uint64_t syncs_dropped = 0;
+    uint64_t syncs_held = 0;
+  };
+  const Counts& counts() const { return counts_; }
+
+  // ---- core::FaultInjector ---------------------------------------------
+  SimTime on_avail_update(WorkerId w, SimTime now) override {
+    if (auto it = freezes_.find(w); it != freezes_.end()) {
+      if (now >= it->second.from && now < it->second.until) {
+        ++counts_.avail_frozen;
+        return SimTime::nanos(-1);  // suppress the write
+      }
+    }
+    if (auto it = lags_.find(w); it != lags_.end()) {
+      ++counts_.avail_lagged;
+      return now - it->second;
+    }
+    return now;
+  }
+
+  bool on_bitmap_sync(WorkerId w, uint32_t group, uint64_t bitmap) override {
+    if (auto it = drops_.find(w); it != drops_.end() && it->second > 0) {
+      --it->second;
+      ++counts_.syncs_dropped;
+      return false;
+    }
+    if (auto it = holds_.find(group); it != holds_.end() && it->second > 0) {
+      --it->second;
+      ++counts_.syncs_held;
+      held_.push_back({w, group, bitmap});
+      return false;
+    }
+    return true;
+  }
+
+ private:
+  struct Window {
+    SimTime from;
+    SimTime until;
+  };
+  std::map<WorkerId, Window> freezes_;
+  std::map<WorkerId, SimTime> lags_;
+  std::map<WorkerId, uint32_t> drops_;
+  std::map<uint32_t, uint32_t> holds_;
+  std::vector<HeldSync> held_;
+  Counts counts_;
+};
+
+}  // namespace hermes::testing

@@ -1,0 +1,129 @@
+#include "testing/interleave.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace hermes::testing {
+
+std::string to_string(SchedulePolicy p) {
+  switch (p) {
+    case SchedulePolicy::RandomWalk: return "random-walk";
+    case SchedulePolicy::BoundedPreemption: return "bounded-preemption";
+  }
+  return "?";
+}
+
+uint64_t fnv1a(uint64_t h, const std::string& s) {
+  for (const char c : s) {
+    h ^= static_cast<uint8_t>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+std::string ExploreResult::report(size_t tail) const {
+  std::ostringstream os;
+  os << "interleaving " << (ok ? "OK" : "FAILED") << "\n"
+     << "  seed=" << seed << " policy=" << to_string(policy);
+  if (policy == SchedulePolicy::BoundedPreemption) {
+    os << " preemption_budget=" << preemption_budget;
+  }
+  os << " steps=" << steps_executed << " trace_hash=0x" << std::hex
+     << trace_hash << std::dec << "\n";
+  if (!ok) {
+    os << "  violated at step " << failure_step << ": " << failure << "\n";
+  }
+  const size_t n = trace.size();
+  const size_t from = n > tail ? n - tail : 0;
+  if (from > 0) os << "  ... (" << from << " earlier steps elided)\n";
+  for (size_t i = from; i < n; ++i) os << "  " << trace[i] << "\n";
+  os << "  replay: ExploreOptions{.seed=" << seed << ", .policy=SchedulePolicy::"
+     << (policy == SchedulePolicy::RandomWalk ? "RandomWalk"
+                                              : "BoundedPreemption")
+     << "}\n";
+  return os.str();
+}
+
+ExploreResult InterleavingExplorer::run() {
+  sim::Rng rng(opts_.seed);
+  ExploreResult res;
+  res.seed = opts_.seed;
+  res.policy = opts_.policy;
+  res.preemption_budget = opts_.preemption_budget;
+  res.trace_hash = kFnvOffset;
+
+  const size_t n = threads_.size();
+  std::vector<size_t> next(n, 0);  // per-thread program counter
+  size_t total_steps = 0;
+  for (const auto& t : threads_) total_steps += t.steps_.size();
+
+  // BoundedPreemption state: random priorities (higher value wins) and d
+  // seeded preemption points over the global step index.
+  std::vector<uint64_t> prio(n);
+  std::vector<size_t> preempt_at;
+  if (opts_.policy == SchedulePolicy::BoundedPreemption) {
+    for (size_t i = 0; i < n; ++i) prio[i] = rng.next_u64();
+    for (uint32_t i = 0; i < opts_.preemption_budget && total_steps > 1; ++i) {
+      preempt_at.push_back(1 + rng.next_below(total_steps - 1));
+    }
+    std::sort(preempt_at.begin(), preempt_at.end());
+  }
+  uint64_t next_low_prio = 0;  // descending: each demotion goes below all
+
+  size_t step_idx = 0;
+  std::vector<size_t> runnable;
+  while (true) {
+    runnable.clear();
+    for (size_t i = 0; i < n; ++i) {
+      if (next[i] < threads_[i].steps_.size()) runnable.push_back(i);
+    }
+    if (runnable.empty()) break;
+
+    size_t chosen;
+    if (opts_.policy == SchedulePolicy::RandomWalk) {
+      chosen = runnable[rng.next_below(runnable.size())];
+    } else {
+      // Demote the currently-highest thread at each preemption point.
+      chosen = runnable.front();
+      for (size_t i : runnable) {
+        if (prio[i] > prio[chosen]) chosen = i;
+      }
+      if (!preempt_at.empty() && step_idx >= preempt_at.front()) {
+        preempt_at.erase(preempt_at.begin());
+        prio[chosen] = next_low_prio--;
+        // Re-pick under the demoted priority.
+        chosen = runnable.front();
+        for (size_t i : runnable) {
+          if (prio[i] > prio[chosen]) chosen = i;
+        }
+      }
+    }
+
+    auto& thread = threads_[chosen];
+    const auto& step = thread.steps_[next[chosen]];
+    step.fn();
+    ++next[chosen];
+
+    std::ostringstream line;
+    line << step_idx << "  " << thread.name_ << "." << step.name;
+    res.trace.push_back(line.str());
+    res.trace_hash = fnv1a(res.trace_hash, res.trace.back());
+    res.steps_executed = ++step_idx;
+
+    for (const auto& inv : invariants_) {
+      std::string detail = inv.check();
+      if (!detail.empty()) {
+        res.ok = false;
+        res.failure = inv.name + ": " + detail;
+        res.failure_step = step_idx - 1;
+        return res;
+      }
+    }
+  }
+  HERMES_CHECK(res.steps_executed == total_steps);
+  return res;
+}
+
+}  // namespace hermes::testing

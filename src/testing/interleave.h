@@ -1,0 +1,129 @@
+// Deterministic interleaving explorer for the lock-free closed loop.
+//
+// The WST / cascade-filter / bitmap-sync protocol is lock-free by design:
+// every worker writes only its own WST slot, readers take unsynchronized
+// snapshots, and the published bitmap is a last-write-wins 8-byte store.
+// The paper argues this is safe; this explorer lets tests *shake* that
+// argument mechanically.
+//
+// A test decomposes each simulated worker into a script of atomic steps
+// (heartbeat write, pending-count update, filter run, bitmap publish, ...).
+// The explorer then executes one global interleaving of those steps chosen
+// by a seeded schedule, checking every registered invariant after every
+// single step. Two schedule families:
+//
+//   * RandomWalk — uniformly random runnable thread each step; good
+//     breadth, finds shallow orderings quickly;
+//   * BoundedPreemption — PCT-style: threads run by random priority and
+//     are preempted at only d seeded points; with small d this
+//     concentrates probability on low-preemption-count bugs, which is
+//     where real lock-free protocol races live.
+//
+// Everything derives from one uint64 seed: the same seed replays the same
+// schedule, the same trace, and the same failure report, bit for bit. A
+// failing run's report() embeds the seed so it can be replayed standalone.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "simcore/rng.h"
+
+namespace hermes::testing {
+
+enum class SchedulePolicy : uint8_t { RandomWalk, BoundedPreemption };
+
+std::string to_string(SchedulePolicy p);
+
+struct ExploreOptions {
+  uint64_t seed = 0;
+  SchedulePolicy policy = SchedulePolicy::RandomWalk;
+  // BoundedPreemption only: number of seeded preemption points.
+  uint32_t preemption_budget = 3;
+  // Trace lines kept in the failure report (full trace is always hashed).
+  size_t report_tail = 64;
+};
+
+struct ExploreResult {
+  bool ok = true;
+  std::string failure;        // "<invariant>: <detail>", empty when ok
+  size_t failure_step = 0;    // global step index of the violation
+  size_t steps_executed = 0;
+  uint64_t trace_hash = 0;    // FNV-1a over all trace lines (determinism)
+  std::vector<std::string> trace;  // "step#  thread.step_name"
+
+  // Echo of the options, so a report is self-contained.
+  uint64_t seed = 0;
+  SchedulePolicy policy = SchedulePolicy::RandomWalk;
+  uint32_t preemption_budget = 0;
+
+  // Human-readable reproduction recipe: seed, policy, failure, trace tail.
+  std::string report(size_t tail = 64) const;
+};
+
+class InterleavingExplorer {
+ public:
+  explicit InterleavingExplorer(ExploreOptions opts) : opts_(opts) {}
+
+  // Declare a logical thread; then append its atomic steps in program
+  // order. Steps run exactly once each, in order, under the schedule.
+  class ThreadScript {
+   public:
+    ThreadScript& step(std::string name, std::function<void()> fn) {
+      steps_.push_back({std::move(name), std::move(fn)});
+      return *this;
+    }
+    // Repeat `body(iteration)` K times; body appends steps for iteration i.
+    ThreadScript& repeat(uint32_t k,
+                         const std::function<void(ThreadScript&, uint32_t)>& body) {
+      for (uint32_t i = 0; i < k; ++i) body(*this, i);
+      return *this;
+    }
+
+   private:
+    friend class InterleavingExplorer;
+    struct Step {
+      std::string name;
+      std::function<void()> fn;
+    };
+    std::string name_;
+    std::vector<Step> steps_;
+  };
+
+  ThreadScript& thread(std::string name) {
+    threads_.emplace_back();
+    threads_.back().name_ = std::move(name);
+    return threads_.back();
+  }
+
+  // Invariant checked after EVERY step: return "" when it holds, or a
+  // detail string describing the violation. Checks must not mutate the
+  // system under test.
+  void invariant(std::string name, std::function<std::string()> check) {
+    invariants_.push_back({std::move(name), std::move(check)});
+  }
+
+  // Execute one full interleaving. Stops at the first invariant violation.
+  ExploreResult run();
+
+ private:
+  struct Invariant {
+    std::string name;
+    std::function<std::string()> check;
+  };
+
+  ExploreOptions opts_;
+  // deque: thread() hands out references that must survive later thread()
+  // calls appending more scripts.
+  std::deque<ThreadScript> threads_;
+  std::vector<Invariant> invariants_;
+};
+
+// FNV-1a, the trace hash (exposed for tests that hash their own traces).
+uint64_t fnv1a(uint64_t h, const std::string& s);
+inline constexpr uint64_t kFnvOffset = 1469598103934665603ull;
+
+}  // namespace hermes::testing

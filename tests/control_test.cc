@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "core/control.h"
+#include "test_util.h"
 
 namespace hermes::core {
 namespace {
@@ -97,10 +98,8 @@ TEST_F(ControlTest, MultiKeyQueryStringParsed) {
 
 TEST_F(ControlTest, UpdatedPolicyTakesEffectOnNextSchedule) {
   // End-to-end: flip theta to 0 and verify the live scheduler narrows.
-  std::vector<uint8_t> buf(WorkerStatusTable::required_bytes(4) + 64);
-  const auto addr = reinterpret_cast<uintptr_t>(buf.data());
-  auto wst = WorkerStatusTable::init(
-      reinterpret_cast<void*>((addr + 63) & ~uintptr_t{63}), 4);
+  auto buf = testing::wst_buffer(4);
+  auto wst = WorkerStatusTable::init(buf.data(), 4);
   const SimTime now = SimTime::millis(1);
   for (WorkerId w = 0; w < 4; ++w) {
     wst.update_avail(w, now);
@@ -111,6 +110,51 @@ TEST_F(ControlTest, UpdatedPolicyTakesEffectOnNextSchedule) {
   send("POST /policy/theta?value=0 HTTP/1.1\r\n\r\n");
   const auto after = scheduler_.schedule(wst, now);  // theta 0 -> 2 pass
   EXPECT_EQ(after.selected, 2u);
+}
+
+TEST_F(ControlTest, AcceptsExactRangeBoundaries) {
+  EXPECT_EQ(send("POST /policy/theta?value=0 HTTP/1.1\r\n\r\n").status, 200);
+  EXPECT_EQ(send("POST /policy/theta?value=16 HTTP/1.1\r\n\r\n").status, 200);
+  EXPECT_EQ(send("POST /policy/theta?value=16.5 HTTP/1.1\r\n\r\n").status,
+            400);
+  EXPECT_EQ(send("POST /policy/hang-ms?value=60000 HTTP/1.1\r\n\r\n").status,
+            200);
+  EXPECT_EQ(send("POST /policy/hang-ms?value=60001 HTTP/1.1\r\n\r\n").status,
+            400);
+  EXPECT_EQ(
+      send("POST /policy/degradation?fraction=1 HTTP/1.1\r\n\r\n").status,
+      200);
+  EXPECT_EQ(
+      send("POST /policy/degradation?fraction=0 HTTP/1.1\r\n\r\n").status,
+      200);
+}
+
+TEST_F(ControlTest, OrderRejectsEmptyAndPartialTokens) {
+  EXPECT_EQ(send("POST /policy/order?value= HTTP/1.1\r\n\r\n").status, 400);
+  EXPECT_EQ(send("POST /policy/order?value=conn,bogus HTTP/1.1\r\n\r\n").status,
+            400);
+  // A rejected order never changes the cascade length.
+  EXPECT_EQ(scheduler_.config().num_stages, 3u);
+}
+
+TEST_F(ControlTest, DescribeRoundTripsThroughOrderEndpoint) {
+  // Set a two-stage cascade, read it back via GET, and feed the reported
+  // order string into the endpoint again: a full round trip must be a
+  // fixed point.
+  ASSERT_EQ(send("POST /policy/order?value=event,conn HTTP/1.1\r\n\r\n").status,
+            200);
+  const auto get = send("GET /policy HTTP/1.1\r\n\r\n");
+  EXPECT_NE(get.body.find("\"order\":\"event,conn\""), std::string::npos);
+
+  ASSERT_EQ(send("POST /policy/order?value=event,conn HTTP/1.1\r\n\r\n").status,
+            200);
+  const auto& cfg = scheduler_.config();
+  EXPECT_EQ(cfg.num_stages, 2u);
+  EXPECT_EQ(cfg.stage_order[0], FilterStage::PendingEvents);
+  EXPECT_EQ(cfg.stage_order[1], FilterStage::Connections);
+  EXPECT_NE(send("GET /policy HTTP/1.1\r\n\r\n")
+                .body.find("\"order\":\"event,conn\""),
+            std::string::npos);
 }
 
 }  // namespace

@@ -6,20 +6,18 @@
 #include <vector>
 
 #include "core/degradation.h"
+#include "test_util.h"
 
 namespace hermes::core {
 namespace {
 
 class DegradationTest : public ::testing::Test {
  protected:
-  DegradationTest() {
-    buf_.resize(WorkerStatusTable::required_bytes(4) + 64);
-    const auto addr = reinterpret_cast<uintptr_t>(buf_.data());
-    wst_.emplace(WorkerStatusTable::init(
-        reinterpret_cast<void*>((addr + 63) & ~uintptr_t{63}), 4));
+  DegradationTest() : buf_(testing::wst_buffer(4)) {
+    wst_.emplace(WorkerStatusTable::init(buf_.data(), 4));
   }
 
-  std::vector<uint8_t> buf_;
+  testing::AlignedBuffer<64> buf_;
   std::optional<WorkerStatusTable> wst_;
   HermesConfig cfg_{};
 };
@@ -87,6 +85,32 @@ TEST_F(DegradationTest, DeterministicForSameInputs) {
   std::vector<uint64_t> conns(64);
   std::iota(conns.begin(), conns.end(), 100);
   EXPECT_EQ(pol.pick_resets(conns, 3), pol.pick_resets(conns, 3));
+}
+
+TEST_F(DegradationTest, ShouldDegradeBoundaryIsStrict) {
+  DegradationPolicy pol(cfg_);
+  wst_->update_avail(2, SimTime::zero());
+  // Staleness exactly == degradation_after is NOT yet degradation-worthy.
+  EXPECT_FALSE(pol.should_degrade(*wst_, 2, cfg_.degradation_after));
+  EXPECT_TRUE(pol.should_degrade(*wst_, 2,
+                                 cfg_.degradation_after + SimTime::nanos(1)));
+}
+
+TEST_F(DegradationTest, TinyFractionSpreadsSparsely) {
+  cfg_.degradation_reset_fraction = 0.01;  // stride 100
+  DegradationPolicy pol(cfg_);
+  std::vector<uint64_t> conns(1000);
+  std::iota(conns.begin(), conns.end(), 0);
+  EXPECT_EQ(pol.pick_resets(conns).size(), 10u);
+}
+
+TEST_F(DegradationTest, SaltWrapsModuloStride) {
+  cfg_.degradation_reset_fraction = 0.25;  // stride 4
+  DegradationPolicy pol(cfg_);
+  std::vector<uint64_t> conns(40);
+  std::iota(conns.begin(), conns.end(), 0);
+  // Salts congruent mod stride pick the same victims.
+  EXPECT_EQ(pol.pick_resets(conns, 1), pol.pick_resets(conns, 5));
 }
 
 }  // namespace

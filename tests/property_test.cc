@@ -12,6 +12,7 @@
 #include "core/scheduler.h"
 #include "http/parser.h"
 #include "simcore/rng.h"
+#include "test_util.h"
 
 namespace hermes {
 namespace {
@@ -23,11 +24,8 @@ class SchedulerPropertyTest : public ::testing::TestWithParam<uint64_t> {};
 TEST_P(SchedulerPropertyTest, InvariantsHoldOnRandomTables) {
   sim::Rng rng(GetParam());
   const uint32_t workers = 1 + static_cast<uint32_t>(rng.next_below(32));
-  std::vector<uint8_t> buf(core::WorkerStatusTable::required_bytes(workers) +
-                           64);
-  const auto addr = reinterpret_cast<uintptr_t>(buf.data());
-  auto wst = core::WorkerStatusTable::init(
-      reinterpret_cast<void*>((addr + 63) & ~uintptr_t{63}), workers);
+  auto buf = testing::wst_buffer(workers);
+  auto wst = core::WorkerStatusTable::init(buf.data(), workers);
 
   core::HermesConfig cfg;
   cfg.theta_ratio = rng.uniform(0.0, 2.0);
@@ -68,11 +66,8 @@ TEST_P(SchedulerPropertyTest, InvariantsHoldOnRandomTables) {
 TEST_P(SchedulerPropertyTest, WiderThetaNeverSelectsFewer) {
   sim::Rng rng(GetParam() + 1000);
   const uint32_t workers = 2 + static_cast<uint32_t>(rng.next_below(30));
-  std::vector<uint8_t> buf(core::WorkerStatusTable::required_bytes(workers) +
-                           64);
-  const auto addr = reinterpret_cast<uintptr_t>(buf.data());
-  auto wst = core::WorkerStatusTable::init(
-      reinterpret_cast<void*>((addr + 63) & ~uintptr_t{63}), workers);
+  auto buf = testing::wst_buffer(workers);
+  auto wst = core::WorkerStatusTable::init(buf.data(), workers);
   const SimTime now = SimTime::seconds(1);
   for (WorkerId w = 0; w < workers; ++w) {
     wst.update_avail(w, now);

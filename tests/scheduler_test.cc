@@ -4,18 +4,18 @@
 
 #include <vector>
 
+#include "core/hermes.h"
 #include "core/scheduler.h"
+#include "test_util.h"
 
 namespace hermes::core {
 namespace {
 
 class SchedulerTest : public ::testing::Test {
  protected:
-  explicit SchedulerTest(uint32_t workers = 8) : workers_(workers) {
-    buf_.resize(WorkerStatusTable::required_bytes(workers_) + 64);
-    const auto addr = reinterpret_cast<uintptr_t>(buf_.data());
-    void* mem = reinterpret_cast<void*>((addr + 63) & ~uintptr_t{63});
-    wst_.emplace(WorkerStatusTable::init(mem, workers_));
+  explicit SchedulerTest(uint32_t workers = 8)
+      : workers_(workers), buf_(testing::wst_buffer(workers)) {
+    wst_.emplace(WorkerStatusTable::init(buf_.data(), workers_));
   }
 
   // Make all workers look alive as of `now`.
@@ -24,7 +24,7 @@ class SchedulerTest : public ::testing::Test {
   }
 
   uint32_t workers_;
-  std::vector<uint8_t> buf_;
+  testing::AlignedBuffer<64> buf_;
   std::optional<WorkerStatusTable> wst_;
   HermesConfig cfg_{};
 };
@@ -189,10 +189,8 @@ TEST_F(SchedulerTest, IsHungPredicate) {
 // (busy=2, conn=1) and becomes unavailable; W2 and W3 remain schedulable.
 TEST(SchedulerWalkthroughTest, FigA4Steps) {
   constexpr uint32_t kWorkers = 3;
-  std::vector<uint8_t> buf(WorkerStatusTable::required_bytes(kWorkers) + 64);
-  const auto addr = reinterpret_cast<uintptr_t>(buf.data());
-  auto wst = WorkerStatusTable::init(
-      reinterpret_cast<void*>((addr + 63) & ~uintptr_t{63}), kWorkers);
+  auto buf = testing::wst_buffer(kWorkers);
+  auto wst = WorkerStatusTable::init(buf.data(), kWorkers);
   HermesConfig cfg;
   cfg.hang_threshold = SimTime::millis(4);  // "unavailable if > 4t", t = 1ms
   cfg.theta_ratio = 1.0;  // small worker counts need a wide offset
@@ -236,6 +234,84 @@ TEST(SchedulerWalkthroughTest, FigA4Steps) {
   wst.update_avail(2, t);
   res = sched.schedule(wst, t);
   EXPECT_TRUE(bitmap_test(res.bitmap, 0));
+}
+
+// ---- edge cases: total failure and theta extremes ----------------------
+
+TEST_F(SchedulerTest, AllWorkersHungProducesEmptyBitmap) {
+  Scheduler sched(cfg_);
+  all_alive(SimTime::millis(1));
+  const SimTime now = SimTime::seconds(10);  // everyone far past threshold
+  const auto res = sched.schedule(*wst_, now);
+  EXPECT_EQ(res.after_time, 0u);
+  EXPECT_EQ(res.after_conn, 0u);
+  EXPECT_EQ(res.after_event, 0u);
+  EXPECT_EQ(res.selected, 0u);
+  EXPECT_EQ(res.bitmap, 0u);
+}
+
+TEST_F(SchedulerTest, ThetaZeroAllEqualLoadStillPassesEveryone) {
+  // theta = 0 with identical loads: the v == avg escape hatch must keep
+  // the filter from rejecting the entire (perfectly balanced) fleet.
+  cfg_.theta_ratio = 0.0;
+  Scheduler sched(cfg_);
+  const SimTime now = SimTime::millis(100);
+  all_alive(now);
+  for (WorkerId w = 0; w < workers_; ++w) wst_->add_connections(w, 7);
+  const auto res = sched.schedule(*wst_, now);
+  EXPECT_EQ(res.selected, workers_);
+}
+
+TEST_F(SchedulerTest, ThetaZeroKeepsOnlyAtOrBelowAverage) {
+  cfg_.theta_ratio = 0.0;
+  Scheduler sched(cfg_);
+  const SimTime now = SimTime::millis(100);
+  all_alive(now);
+  // conns = 0..7, avg = 3.5: only workers 0-3 fall strictly below.
+  for (WorkerId w = 0; w < workers_; ++w) wst_->add_connections(w, w);
+  const auto res = sched.schedule(*wst_, now);
+  EXPECT_EQ(res.after_conn, 4u);
+  EXPECT_EQ(res.bitmap, 0b0000'1111u);
+}
+
+TEST_F(SchedulerTest, ExtremeThetaPassesArbitrarySkew) {
+  cfg_.theta_ratio = 1e6;
+  Scheduler sched(cfg_);
+  const SimTime now = SimTime::millis(100);
+  all_alive(now);
+  for (WorkerId w = 0; w < workers_; ++w) {
+    wst_->add_connections(w, static_cast<int64_t>(w) * 100'000);
+    wst_->add_pending(w, static_cast<int64_t>(w) * 1'000);
+  }
+  const auto res = sched.schedule(*wst_, now);
+  EXPECT_EQ(res.selected, workers_);
+}
+
+// When every worker is hung, schedule_and_sync must still publish — an
+// EMPTY bitmap — and the dispatch program must then fall back to hashing
+// rather than select from a stale view.
+TEST(SchedulerRuntimeEdgeTest, EmptyBitmapIsPublishedAndDispatchFallsBack) {
+  HermesRuntime::Options opts;
+  opts.num_workers = 4;
+  HermesRuntime rt(opts);
+  const SimTime t1 = SimTime::millis(10);
+  for (WorkerId w = 0; w < 4; ++w) rt.hooks_for(w).on_loop_enter(t1);
+  rt.schedule_and_sync(0, t1);
+  EXPECT_EQ(rt.kernel_bitmap(), 0b1111u);
+
+  // Much later, nobody has heartbeat since t1: all hung.
+  const SimTime t2 = SimTime::seconds(10);
+  const auto res = rt.schedule_and_sync(0, t2);
+  EXPECT_EQ(res.bitmap, 0u);
+  EXPECT_EQ(rt.kernel_bitmap(), 0u);  // the empty bitmap IS published
+
+  auto att = rt.attach_port({1001, 1002, 1003, 1004});
+  bpf::ReuseportCtx ctx;
+  ctx.hash = 0x1234'5678;
+  ctx.hash2 = 0x9abc'def0;
+  const auto run = rt.vm().run(*att.program, ctx);
+  EXPECT_EQ(run.ret, bpf::kRetFallback);
+  EXPECT_FALSE(ctx.selection_made);
 }
 
 }  // namespace

@@ -1,0 +1,39 @@
+// Shared helpers for the test suites.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/wst.h"
+
+namespace hermes::testing {
+
+// A heap buffer whose data() is aligned to `Align` bytes — replaces the
+// hand-rolled `(addr + 63) & ~63` pointer arithmetic that used to be
+// duplicated across tests needing cache-line-aligned WST memory.
+template <size_t Align = 64>
+class AlignedBuffer {
+ public:
+  explicit AlignedBuffer(size_t bytes) : raw_(bytes + Align) {
+    const auto addr = reinterpret_cast<uintptr_t>(raw_.data());
+    data_ = reinterpret_cast<void*>((addr + (Align - 1)) & ~uintptr_t{Align - 1});
+  }
+
+  void* data() { return data_; }
+  template <typename T>
+  T* as() {
+    return static_cast<T*>(data_);
+  }
+
+ private:
+  std::vector<uint8_t> raw_;
+  void* data_ = nullptr;
+};
+
+// Aligned backing store sized for a WorkerStatusTable of `workers`.
+inline AlignedBuffer<64> wst_buffer(uint32_t workers) {
+  return AlignedBuffer<64>(core::WorkerStatusTable::required_bytes(workers));
+}
+
+}  // namespace hermes::testing

@@ -1,0 +1,202 @@
+// Torture: differential fuzzing of verifier + VM + reference interpreter.
+//
+// Seeded random programs from testing::gen_program go through the verifier
+// (via Vm::load). Accepted programs run twice against identically
+// initialized state: once under bpf::Vm, once under the independent
+// straight-line reference interpreter (bpf/ref_interpreter.h), with
+// deterministic counter-based time/rand helpers. The contract:
+//
+//   * a verifier-ACCEPTED program NEVER traps in the reference interpreter
+//     (no bad memory access, no bad helper call, no budget blowout) — that
+//     is the verifier's entire soundness claim, checked dynamically;
+//   * both implementations agree on r0, instruction count, reuseport
+//     selection side effects, and final map contents — any divergence is a
+//     bug in one of the three components, pinned by the failing seed.
+//
+// One run covers >= 10,000 generated programs.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bpf/insn.h"
+#include "bpf/maps.h"
+#include "bpf/ref_interpreter.h"
+#include "bpf/vm.h"
+#include "core/dispatch_prog.h"
+#include "simcore/rng.h"
+#include "testing/fuzz_gen.h"
+
+namespace hermes::bpf {
+namespace {
+
+constexpr uint64_t kSeedBase = 0x5eedULL << 32;
+constexpr int kNumPrograms = 10'000;
+
+constexpr testing::GenOptions kGen{};  // defaults: 2-entry array, 8 socks
+
+// Deterministic helper functions: both runs see the same sequence.
+Vm::TimeFn counter_time(uint64_t& n) {
+  return [&n] { return 1'000'000 + 7 * n++; };
+}
+Vm::RandFn counter_rand(uint64_t& n) {
+  return [&n] { return static_cast<uint32_t>(0x9e3779b9u * ++n); };
+}
+
+struct World {
+  ArrayMap array;
+  ReuseportSockArray socks;
+
+  explicit World(sim::Rng& rng)
+      : array(kGen.array_entries, sizeof(uint64_t)),
+        socks(kGen.sock_entries) {
+    for (uint32_t k = 0; k < kGen.array_entries; ++k) {
+      const uint64_t v = rng.next_u64();
+      array.update(k, &v);
+    }
+    for (uint32_t k = 0; k < kGen.sock_entries; ++k) {
+      // Mix of present cookies and empty slots (SkSelectReuseport -ENOENT).
+      if (rng.bernoulli(0.75)) socks.update(k, 100 + k);
+    }
+  }
+
+  // Identical twin: same bytes, separate storage.
+  World(const World&) = delete;
+  static void clone_into(World& dst, World& src) {
+    std::memcpy(dst.array.storage_base(), src.array.storage_base(),
+                src.array.storage_bytes());
+    for (uint32_t k = 0; k < kGen.sock_entries; ++k) {
+      const uint64_t c = src.socks.get(k);
+      if (c == kNoSocket) {
+        dst.socks.remove(k);
+      } else {
+        dst.socks.update(k, c);
+      }
+    }
+  }
+};
+
+TEST(TortureBpfDiff, TenThousandProgramsNoTrapNoDivergence) {
+  int accepted = 0;
+  int rejected = 0;
+
+  for (int i = 0; i < kNumPrograms; ++i) {
+    const uint64_t seed = kSeedBase + static_cast<uint64_t>(i);
+    sim::Rng rng(seed);
+    const Program prog = testing::gen_program(rng, kGen);
+    const ReuseportCtx ctx0 = testing::gen_ctx(rng);
+
+    sim::Rng world_rng(seed ^ 0xabcdef);
+    World vm_world(world_rng);
+    sim::Rng world_rng2(seed ^ 0xabcdef);
+    World ref_world(world_rng2);
+
+    // Verifier gate (Vm::load = verify + bind maps).
+    Vm vm;
+    std::string err;
+    auto loaded =
+        vm.load(prog, {&vm_world.array, &vm_world.socks}, &err);
+    if (loaded == nullptr) {
+      ++rejected;
+      continue;
+    }
+    ++accepted;
+
+    // Reference run first: an accepted program must never trap.
+    Map* ref_maps[] = {&ref_world.array, &ref_world.socks};
+    ReuseportCtx ref_ctx = ctx0;
+    uint64_t ref_t = 0, ref_r = 0;
+    const RefResult ref =
+        ref_run(prog, ref_maps, ref_ctx, counter_time(ref_t),
+                counter_rand(ref_r));
+    ASSERT_FALSE(ref.trapped)
+        << "verifier-accepted program trapped: " << ref.trap << " at pc "
+        << ref.trap_pc << " (seed=" << seed << ")\n"
+        << disassemble(prog);
+
+    // VM run against the twin world.
+    uint64_t vm_t = 0, vm_r = 0;
+    vm.set_time_fn(counter_time(vm_t));
+    vm.set_rand_fn(counter_rand(vm_r));
+    ReuseportCtx vm_ctx = ctx0;
+    const Vm::RunResult got = vm.run(*loaded, vm_ctx);
+
+    ASSERT_EQ(got.ret, ref.ret) << "r0 divergence (seed=" << seed << ")\n"
+                                << disassemble(prog);
+    ASSERT_EQ(got.insns_executed, ref.insns_executed)
+        << "instruction-count divergence (seed=" << seed << ")\n"
+        << disassemble(prog);
+    ASSERT_EQ(vm_ctx.selection_made, ref_ctx.selection_made)
+        << "selection divergence (seed=" << seed << ")";
+    ASSERT_EQ(vm_ctx.selected_socket, ref_ctx.selected_socket)
+        << "selected-socket divergence (seed=" << seed << ")";
+    ASSERT_EQ(std::memcmp(vm_world.array.storage_base(),
+                          ref_world.array.storage_base(),
+                          vm_world.array.storage_bytes()),
+              0)
+        << "final map-content divergence (seed=" << seed << ")\n"
+        << disassemble(prog);
+  }
+
+  // The corpus must exercise both verifier verdicts, or the test is vacuous.
+  EXPECT_GT(accepted, kNumPrograms / 20)
+      << "generator produced almost no verifiable programs";
+  EXPECT_GT(rejected, kNumPrograms / 20)
+      << "generator stopped producing rejection-worthy programs";
+  RecordProperty("accepted", accepted);
+  RecordProperty("rejected", rejected);
+}
+
+TEST(TortureBpfDiff, GeneratorIsDeterministic) {
+  for (uint64_t seed : {1ull, 42ull, 0xdeadbeefull}) {
+    sim::Rng a(seed), b(seed);
+    const Program pa = testing::gen_program(a, kGen);
+    const Program pb = testing::gen_program(b, kGen);
+    ASSERT_EQ(pa.size(), pb.size());
+    for (size_t k = 0; k < pa.size(); ++k) {
+      ASSERT_EQ(disassemble(pa[k]), disassemble(pb[k])) << "insn " << k;
+    }
+  }
+}
+
+// The production dispatch program, differentially checked: Vm and the
+// reference interpreter must agree on every (bitmap, hash, hash2) we throw
+// at it — this pins the program the paper actually ships, not just random
+// bytecode.
+TEST(TortureBpfDiff, DispatchProgramAgreesWithReferenceInterpreter) {
+  core::DispatchProgramParams params;
+  params.num_groups = 2;
+  params.workers_per_group = 8;
+  ArrayMap sel(params.num_groups, sizeof(uint64_t));
+  ReuseportSockArray socks(16);
+  for (uint32_t w = 0; w < 16; ++w) socks.update(w, 1000 + w);
+
+  const Program prog = core::build_dispatch_program(params);
+  Vm vm;
+  std::string err;
+  auto loaded = vm.load(prog, {&sel, &socks}, &err);
+  ASSERT_NE(loaded, nullptr) << err;
+
+  sim::Rng rng(7);
+  Map* maps[] = {&sel, &socks};
+  for (int i = 0; i < 2'000; ++i) {
+    sel.store_u64(0, rng.next_u64() & 0xffull);
+    sel.store_u64(1, rng.next_u64() & 0xffull);
+    ReuseportCtx ctx = testing::gen_ctx(rng);
+    ReuseportCtx ref_ctx = ctx;
+
+    const RefResult ref = ref_run(prog, maps, ref_ctx);
+    ASSERT_FALSE(ref.trapped) << ref.trap << " at pc " << ref.trap_pc;
+    const Vm::RunResult got = vm.run(*loaded, ctx);
+
+    ASSERT_EQ(got.ret, ref.ret) << "iteration " << i;
+    ASSERT_EQ(got.insns_executed, ref.insns_executed) << "iteration " << i;
+    ASSERT_EQ(ctx.selection_made, ref_ctx.selection_made) << "iteration " << i;
+    ASSERT_EQ(ctx.selected_socket, ref_ctx.selected_socket)
+        << "iteration " << i;
+  }
+}
+
+}  // namespace
+}  // namespace hermes::bpf

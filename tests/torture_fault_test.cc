@@ -1,0 +1,271 @@
+// Torture: fault injection with closed-loop invariant checking.
+//
+// ScriptedFaultInjector wedges heartbeats, lags clocks, and drops or delays
+// bitmap syncs; each scenario then asserts the paper's mitigation actually
+// engages:
+//   * a worker whose heartbeat freezes leaves the kernel bitmap within one
+//     filter window, and the dispatch program never selects it afterwards;
+//   * when the surviving set shrinks below min_workers_for_dispatch the
+//     program falls back to plain reuseport hashing (Algo. 2 line 4);
+//   * dropped and delayed (stale) syncs are repaired by the next completed
+//     sync — last-write-wins converges;
+//   * under faults the full LB simulation still conserves connections:
+//     the WST accounting agrees with the workers' own live counts.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <numeric>
+#include <optional>
+#include <vector>
+
+#include "core/hermes.h"
+#include "sim/lb.h"
+#include "simcore/rng.h"
+#include "testing/fault_injection.h"
+
+namespace hermes {
+namespace {
+
+using core::HermesRuntime;
+using testing::ScriptedFaultInjector;
+
+class FaultRuntimeTest : public ::testing::Test {
+ protected:
+  static constexpr uint32_t kWorkers = 4;
+
+  void make_runtime() {
+    HermesRuntime::Options opts;
+    opts.num_workers = kWorkers;
+    opts.faults = &faults_;
+    rt_.emplace(opts);
+  }
+
+  // One closed-loop tick: every worker heartbeats (through the fault
+  // injector), then one of them runs the scheduler and syncs.
+  core::ScheduleResult tick(SimTime now, WorkerId scheduler_worker = 0) {
+    for (WorkerId w = 0; w < kWorkers; ++w) {
+      rt_->hooks_for(w).on_loop_enter(now);
+    }
+    return rt_->schedule_and_sync(scheduler_worker, now);
+  }
+
+  // Run the dispatch program over many hashes; returns per-worker hit
+  // counts (kRetUseSelection only) and the number of fallbacks.
+  struct DispatchStats {
+    std::vector<int> hits;
+    int fallbacks = 0;
+  };
+  void drive_dispatch(core::PortAttachment& att, int n, uint64_t seed,
+                      DispatchStats* st) {
+    st->hits.assign(kWorkers, 0);
+    sim::Rng rng(seed);
+    for (int i = 0; i < n; ++i) {
+      bpf::ReuseportCtx ctx;
+      ctx.hash = static_cast<uint32_t>(rng.next_u64());
+      ctx.hash2 = static_cast<uint32_t>(rng.next_u64());
+      const auto res = rt_->vm().run(*att.program, ctx);
+      if (res.ret == bpf::kRetUseSelection) {
+        ASSERT_TRUE(ctx.selection_made);
+        ASSERT_GE(ctx.selected_socket, 1000u);
+        ++st->hits[ctx.selected_socket - 1000];
+      } else {
+        ASSERT_EQ(res.ret, bpf::kRetFallback);
+        ++st->fallbacks;
+      }
+    }
+  }
+
+  core::PortAttachment attach() {
+    std::vector<uint64_t> cookies;
+    for (WorkerId w = 0; w < kWorkers; ++w) cookies.push_back(1000 + w);
+    return rt_->attach_port(cookies);
+  }
+
+  ScriptedFaultInjector faults_;
+  std::optional<HermesRuntime> rt_;
+};
+
+TEST_F(FaultRuntimeTest, FrozenWorkerLeavesBitmapWithinFilterWindow) {
+  make_runtime();
+  auto att = attach();
+  const SimTime freeze_at = SimTime::millis(100);
+  faults_.freeze_avail(0, freeze_at, SimTime::seconds(10));
+
+  const SimTime hang = rt_->config().hang_threshold;  // 50 ms
+  const SimTime step = SimTime::millis(5);            // epoll_wait timeout
+
+  // Warm up: everyone alive, everyone in the bitmap.
+  SimTime now = SimTime::millis(50);
+  for (; now < freeze_at; now = now + step) tick(now);
+  ASSERT_TRUE(core::bitmap_test(rt_->kernel_bitmap(), 0));
+
+  // Freeze worker 0. Its heartbeat writes are now suppressed; the bitmap
+  // may keep naming it until the hang threshold elapses, but no longer.
+  SimTime first_absent = SimTime::zero();
+  for (; now < freeze_at + SimTime::millis(200); now = now + step) {
+    tick(now, /*scheduler_worker=*/1);
+    if (!core::bitmap_test(rt_->kernel_bitmap(), 0)) {
+      first_absent = now;
+      break;
+    }
+  }
+  ASSERT_NE(first_absent, SimTime::zero()) << "worker 0 never left bitmap";
+  // Mitigation bound: absent within hang_threshold + one loop period of the
+  // last pre-freeze heartbeat.
+  EXPECT_LE((first_absent - freeze_at).ns(), (hang + step * 2).ns());
+  EXPECT_GT(faults_.counts().avail_frozen, 0u);
+
+  // From now on the dispatch program must never pick worker 0.
+  for (; now < freeze_at + SimTime::millis(400); now = now + step) {
+    tick(now, /*scheduler_worker=*/1);
+    ASSERT_FALSE(core::bitmap_test(rt_->kernel_bitmap(), 0)) << now.ns();
+  }
+  DispatchStats st;
+  drive_dispatch(att, 512, /*seed=*/9, &st);
+  EXPECT_EQ(st.hits[0], 0);
+  EXPECT_GT(st.hits[1] + st.hits[2] + st.hits[3], 0);
+}
+
+TEST_F(FaultRuntimeTest, SurvivorCountBelowMinFallsBackToHashing) {
+  make_runtime();
+  auto att = attach();
+  // Freeze all but worker 3 from the start.
+  for (WorkerId w : {0u, 1u, 2u}) {
+    faults_.freeze_avail(w, SimTime::zero(), SimTime::seconds(10));
+  }
+  SimTime now = SimTime::millis(5);
+  core::ScheduleResult res;
+  for (; now < SimTime::millis(200); now = now + SimTime::millis(5)) {
+    res = tick(now, /*scheduler_worker=*/3);
+  }
+  // Only worker 3 survives the time filter: popcount 1 < min_workers 2.
+  EXPECT_EQ(res.selected, 1u);
+  EXPECT_EQ(std::popcount(rt_->kernel_bitmap()), 1);
+
+  DispatchStats st;
+  drive_dispatch(att, 256, /*seed=*/11, &st);
+  EXPECT_EQ(st.fallbacks, 256);  // Algo. 2 line 4: n > 1 required
+}
+
+TEST_F(FaultRuntimeTest, DroppedSyncsLeaveBitmapStaleUntilNextSync) {
+  make_runtime();
+  const SimTime t1 = SimTime::millis(10);
+  tick(t1);
+  const uint64_t all = rt_->kernel_bitmap();
+  ASSERT_EQ(std::popcount(all), 4);
+
+  // Overload worker 2 so the next schedule would exclude it — but drop
+  // that worker's next two map updates.
+  rt_->wst().add_connections(2, 1'000);
+  faults_.drop_next_syncs(/*w=*/0, 2);
+  const SimTime t2 = SimTime::millis(15);
+  auto res = tick(t2);
+  EXPECT_FALSE(core::bitmap_test(res.bitmap, 2));   // filter did exclude it
+  EXPECT_EQ(rt_->kernel_bitmap(), all);             // ...but the sync was lost
+  res = tick(SimTime::millis(20));
+  EXPECT_EQ(rt_->kernel_bitmap(), all);             // second drop
+  EXPECT_EQ(rt_->counters().syncs_dropped, 2u);
+  EXPECT_EQ(faults_.counts().syncs_dropped, 2u);
+
+  // Drops exhausted: the next completed sync repairs the kernel view.
+  res = tick(SimTime::millis(25));
+  EXPECT_EQ(rt_->kernel_bitmap(), res.bitmap);
+  EXPECT_FALSE(core::bitmap_test(rt_->kernel_bitmap(), 2));
+}
+
+TEST_F(FaultRuntimeTest, DelayedStaleSyncIsRepairedByNextSync) {
+  make_runtime();
+  const SimTime t1 = SimTime::millis(10);
+  tick(t1);
+  const uint64_t fresh_all = rt_->kernel_bitmap();
+
+  // Hold the next sync into group 0 (it will be applied LATE), then make
+  // worker 1 overloaded and sync again — the fresh bitmap excludes 1.
+  faults_.hold_syncs(/*group=*/0, 1);
+  auto held_res = tick(SimTime::millis(15));
+  ASSERT_EQ(faults_.held().size(), 1u);
+  EXPECT_EQ(rt_->kernel_bitmap(), fresh_all);  // held, not applied
+
+  rt_->wst().add_connections(1, 1'000);
+  auto fresh = tick(SimTime::millis(20));
+  ASSERT_FALSE(core::bitmap_test(fresh.bitmap, 1));
+  EXPECT_EQ(rt_->kernel_bitmap(), fresh.bitmap);
+
+  // The delayed sync now lands: a STALE bitmap (still naming worker 1)
+  // overwrites the fresh one — the worst-case last-write-wins reordering.
+  ASSERT_EQ(faults_.release_held(rt_->sel_map()), 1u);
+  EXPECT_EQ(rt_->kernel_bitmap(), held_res.bitmap);
+  EXPECT_TRUE(core::bitmap_test(rt_->kernel_bitmap(), 1));
+
+  // Self-healing: the next closed-loop sync restores the correct view.
+  auto repaired = tick(SimTime::millis(25));
+  EXPECT_EQ(rt_->kernel_bitmap(), repaired.bitmap);
+  EXPECT_FALSE(core::bitmap_test(rt_->kernel_bitmap(), 1));
+}
+
+TEST_F(FaultRuntimeTest, LaggedClockBeyondThresholdExcludesWorker) {
+  make_runtime();
+  // Worker 2's heartbeats are written 60 ms in the past (> 50 ms hang
+  // threshold): it keeps running but always looks hung.
+  faults_.lag_avail(2, SimTime::millis(60));
+  SimTime now = SimTime::millis(100);
+  core::ScheduleResult res;
+  for (; now < SimTime::millis(300); now = now + SimTime::millis(5)) {
+    res = tick(now, /*scheduler_worker=*/1);
+    EXPECT_FALSE(core::bitmap_test(rt_->kernel_bitmap(), 2)) << now.ns();
+  }
+  EXPECT_EQ(res.selected, 3u);
+  EXPECT_GT(faults_.counts().avail_lagged, 0u);
+}
+
+// Full simulation under faults: connection accounting must stay conserved
+// between three independent views — the netsim connection table, the
+// workers' own live counters, and the WST the scheduler reads.
+TEST(FaultSimTest, ConnectionConservationUnderFaults) {
+  ScriptedFaultInjector faults;
+  faults.freeze_avail(0, SimTime::millis(100), SimTime::millis(400));
+  faults.drop_next_syncs(1, 50);
+
+  sim::LbDevice::Config cfg;
+  cfg.mode = netsim::DispatchMode::HermesMode;
+  cfg.num_workers = 4;
+  cfg.num_ports = 4;
+  cfg.seed = 99;
+  cfg.faults = &faults;
+  sim::LbDevice lb(cfg);
+
+  sim::TrafficPattern p;
+  p.cps = 2'000;
+  p.requests_per_conn = sim::DistSpec::constant(3);
+  p.request_cost_us = sim::DistSpec::constant(150);
+  p.request_gap_us = sim::DistSpec::constant(2'000);
+  lb.start_pattern(p, 0, 4, SimTime::millis(800));
+
+  for (int ms = 100; ms <= 1000; ms += 100) {
+    lb.eq().run_until(SimTime::millis(ms));
+    int64_t worker_sum = 0, wst_sum = 0;
+    for (WorkerId w = 0; w < lb.num_workers(); ++w) {
+      const int64_t live = lb.worker(w).live_connections();
+      const int64_t wst = lb.hermes()->wst().connections(w);
+      ASSERT_GE(live, 0) << "worker " << w << " at " << ms << "ms";
+      ASSERT_EQ(live, wst)
+          << "worker " << w << " at " << ms << "ms: worker-side " << live
+          << " vs WST " << wst;
+      worker_sum += live;
+      wst_sum += wst;
+    }
+    ASSERT_EQ(static_cast<uint64_t>(worker_sum), lb.live_connections())
+        << "at " << ms << "ms";
+    ASSERT_EQ(worker_sum, wst_sum);
+  }
+  // The faults actually fired and syncs were genuinely suppressed.
+  EXPECT_GT(faults.counts().avail_frozen, 0u);
+  EXPECT_GT(faults.counts().syncs_dropped, 0u);
+  EXPECT_EQ(lb.hermes()->counters().syncs_dropped,
+            faults.counts().syncs_dropped);
+  // And the system survived: requests kept completing.
+  EXPECT_GT(lb.totals().requests_completed, 100u);
+}
+
+}  // namespace
+}  // namespace hermes

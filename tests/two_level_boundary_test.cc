@@ -1,0 +1,167 @@
+// Two-level group scheduling at the boundaries (paper §7, Appendix C).
+//
+// Worker counts straddling the 64-bit bitmap word — 63, 64, 65, 128 — plus
+// group sizes that do not divide the worker count. For every dispatch the
+// selected global worker id must be in range, belong to the hash2-selected
+// group, appear in that group's published bitmap, and agree with the C++
+// reference_dispatch oracle; groups left with fewer than
+// min_workers_for_dispatch survivors must fall back to hashing.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <bit>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "core/dispatch_prog.h"
+#include "core/hermes.h"
+#include "simcore/rng.h"
+
+namespace hermes::core {
+namespace {
+
+struct Rig {
+  std::optional<HermesRuntime> rt;
+  PortAttachment att;
+
+  Rig(uint32_t workers, uint32_t wpg) {
+    HermesRuntime::Options opts;
+    opts.num_workers = workers;
+    opts.config.workers_per_group = wpg;
+    rt.emplace(opts);
+
+    // All workers alive; one sync per group populates every M_sel slot.
+    const SimTime now = SimTime::millis(10);
+    for (WorkerId w = 0; w < workers; ++w) {
+      rt->hooks_for(w).on_loop_enter(now);
+    }
+    for (uint32_t g = 0; g < rt->num_groups(); ++g) {
+      rt->schedule_and_sync(/*self=*/g * wpg, now);
+    }
+
+    std::vector<uint64_t> cookies;
+    for (WorkerId w = 0; w < workers; ++w) cookies.push_back(1000 + w);
+    att = rt->attach_port(cookies);
+  }
+
+  DispatchProgramParams params() const {
+    DispatchProgramParams p;
+    p.num_groups = rt->num_groups();
+    p.workers_per_group = rt->workers_per_group();
+    p.min_workers = rt->config().min_workers_for_dispatch;
+    return p;
+  }
+};
+
+// Drive `n` dispatches, checking every single decision; fills `hit` with
+// the workers that received at least one connection.
+void drive_and_check(Rig& s, int n, uint64_t seed, std::set<WorkerId>* hit) {
+  const uint32_t workers = s.rt->num_workers();
+  const uint32_t wpg = s.rt->workers_per_group();
+  const DispatchProgramParams p = s.params();
+  std::vector<uint64_t> bitmaps;
+  for (uint32_t g = 0; g < s.rt->num_groups(); ++g) {
+    bitmaps.push_back(s.rt->kernel_bitmap(g));
+  }
+
+  sim::Rng rng(seed);
+  for (int i = 0; i < n; ++i) {
+    bpf::ReuseportCtx ctx;
+    ctx.hash = static_cast<uint32_t>(rng.next_u64());
+    ctx.hash2 = static_cast<uint32_t>(rng.next_u64());
+    const WorkerId want =
+        reference_dispatch(p, bitmaps.data(), ctx.hash, ctx.hash2);
+
+    const auto res = s.rt->vm().run(*s.att.program, ctx);
+    if (want == kInvalidWorker) {
+      EXPECT_EQ(res.ret, bpf::kRetFallback) << "i=" << i;
+      EXPECT_FALSE(ctx.selection_made) << "i=" << i;
+      continue;
+    }
+    ASSERT_EQ(res.ret, bpf::kRetUseSelection) << "i=" << i;
+    ASSERT_TRUE(ctx.selection_made) << "i=" << i;
+    const WorkerId got = static_cast<WorkerId>(ctx.selected_socket - 1000);
+    ASSERT_EQ(got, want) << "i=" << i << " hash=" << ctx.hash
+                         << " hash2=" << ctx.hash2;
+    // In range, in the right group, and named by that group's bitmap.
+    ASSERT_LT(got, workers) << "i=" << i;
+    const uint32_t group = got / wpg;
+    ASSERT_LT(group, s.rt->num_groups());
+    ASSERT_TRUE(bitmap_test(bitmaps[group], got % wpg)) << "i=" << i;
+    hit->insert(got);
+  }
+}
+
+TEST(TwoLevelBoundary, Workers63SingleGroup) {
+  Rig s(63, 64);
+  ASSERT_EQ(s.rt->num_groups(), 1u);
+  std::set<WorkerId> hit;
+  drive_and_check(s, 4'000, 1, &hit);
+  // All 63 workers idle and alive: everyone is selectable, most get hits.
+  EXPECT_EQ(std::popcount(s.rt->kernel_bitmap(0)), 63);
+  EXPECT_GT(hit.size(), 48u);
+}
+
+TEST(TwoLevelBoundary, Workers64FillsTheBitmapWord) {
+  Rig s(64, 64);
+  ASSERT_EQ(s.rt->num_groups(), 1u);
+  EXPECT_EQ(s.rt->kernel_bitmap(0), ~0ull);
+  std::set<WorkerId> hit;
+  drive_and_check(s, 4'000, 2, &hit);
+  EXPECT_GT(hit.size(), 48u);
+}
+
+TEST(TwoLevelBoundary, Workers65SpillIntoSecondGroup) {
+  Rig s(65, 64);
+  ASSERT_EQ(s.rt->num_groups(), 2u);
+  // Second group holds a single worker: below min_workers_for_dispatch, so
+  // every hash2 landing there must fall back — never an out-of-range id.
+  EXPECT_EQ(std::popcount(s.rt->kernel_bitmap(1)), 1);
+  std::set<WorkerId> hit;
+  drive_and_check(s, 4'000, 3, &hit);
+  EXPECT_FALSE(hit.contains(64));  // the lone spill worker: fallback only
+  EXPECT_GT(hit.size(), 40u);
+}
+
+TEST(TwoLevelBoundary, Workers128TwoFullGroups) {
+  Rig s(128, 64);
+  ASSERT_EQ(s.rt->num_groups(), 2u);
+  EXPECT_EQ(s.rt->kernel_bitmap(0), ~0ull);
+  EXPECT_EQ(s.rt->kernel_bitmap(1), ~0ull);
+  std::set<WorkerId> hit;
+  drive_and_check(s, 8'000, 4, &hit);
+  // Two-level dispatch reaches ids beyond the 64-bit word.
+  EXPECT_TRUE(std::any_of(hit.begin(), hit.end(),
+                          [](WorkerId w) { return w >= 64; }));
+  EXPECT_GT(hit.size(), 96u);
+}
+
+TEST(TwoLevelBoundary, NonDivisibleGroupSizeShortLastGroup) {
+  // 10 workers, 3 per group: groups of 3, 3, 3, 1 — the last group is both
+  // short AND below min_workers (fallback), while middle groups dispatch.
+  Rig s(10, 3);
+  ASSERT_EQ(s.rt->num_groups(), 4u);
+  EXPECT_EQ(std::popcount(s.rt->kernel_bitmap(3)), 1);
+  std::set<WorkerId> hit;
+  drive_and_check(s, 4'000, 5, &hit);
+  for (const WorkerId w : hit) ASSERT_LT(w, 10u);
+  EXPECT_FALSE(hit.contains(9));  // lone worker in the short group
+  EXPECT_GE(hit.size(), 8u);      // the nine dispatchable ids get traffic
+}
+
+TEST(TwoLevelBoundary, NonDivisibleWideGroups) {
+  // 65 workers, 7 per group: 9 groups of 7 plus a short group of 2 — the
+  // short group still has >= min_workers and must dispatch correctly.
+  Rig s(65, 7);
+  ASSERT_EQ(s.rt->num_groups(), 10u);
+  EXPECT_EQ(std::popcount(s.rt->kernel_bitmap(9)), 2);
+  std::set<WorkerId> hit;
+  drive_and_check(s, 12'000, 6, &hit);
+  for (const WorkerId w : hit) ASSERT_LT(w, 65u);
+  // Workers 63 and 64 live in the short final group and are reachable.
+  EXPECT_TRUE(hit.contains(63) || hit.contains(64));
+}
+
+}  // namespace
+}  // namespace hermes::core

@@ -11,18 +11,13 @@
 #include "core/event_loop_hooks.h"
 #include "core/wst.h"
 #include "shm/shm_region.h"
+#include "test_util.h"
 
 namespace hermes::core {
 namespace {
 
-std::vector<uint8_t> aligned_buffer(uint32_t workers) {
-  std::vector<uint8_t> buf(WorkerStatusTable::required_bytes(workers) + 64);
-  return buf;
-}
-void* align64(std::vector<uint8_t>& buf) {
-  const auto addr = reinterpret_cast<uintptr_t>(buf.data());
-  return reinterpret_cast<void*>((addr + 63) & ~uintptr_t{63});
-}
+// 64-byte-aligned backing store shared with the other WST-using suites.
+using testing::wst_buffer;
 
 TEST(WstLayoutTest, SlotIsOneCacheLine) {
   EXPECT_EQ(sizeof(WorkerSlot), 64u);
@@ -36,8 +31,8 @@ TEST(WstLayoutTest, RequiredBytesScalesWithWorkers) {
 }
 
 TEST(WstTest, InitZeroesAllSlots) {
-  auto buf = aligned_buffer(8);
-  auto wst = WorkerStatusTable::init(align64(buf), 8);
+  auto buf = wst_buffer(8);
+  auto wst = WorkerStatusTable::init(buf.data(), 8);
   EXPECT_EQ(wst.num_workers(), 8u);
   for (WorkerId w = 0; w < 8; ++w) {
     const auto s = wst.read(w);
@@ -48,8 +43,8 @@ TEST(WstTest, InitZeroesAllSlots) {
 }
 
 TEST(WstTest, UpdatesAreVisiblePerWorker) {
-  auto buf = aligned_buffer(4);
-  auto wst = WorkerStatusTable::init(align64(buf), 4);
+  auto buf = wst_buffer(4);
+  auto wst = WorkerStatusTable::init(buf.data(), 4);
   wst.update_avail(2, SimTime::millis(7));
   wst.add_pending(2, 5);
   wst.add_pending(2, -2);
@@ -63,8 +58,8 @@ TEST(WstTest, UpdatesAreVisiblePerWorker) {
 }
 
 TEST(WstTest, AttachSeesInitState) {
-  auto buf = aligned_buffer(4);
-  void* mem = align64(buf);
+  auto buf = wst_buffer(4);
+  void* mem = buf.data();
   auto wst = WorkerStatusTable::init(mem, 4);
   wst.add_connections(1, 42);
 
@@ -81,14 +76,14 @@ TEST(WstDeathTest, AttachToGarbageAborts) {
 }
 
 TEST(WstDeathTest, MisalignedInitAborts) {
-  auto buf = aligned_buffer(2);
-  auto* misaligned = static_cast<uint8_t*>(align64(buf)) + 8;
+  auto buf = wst_buffer(2);
+  auto* misaligned = static_cast<uint8_t*>(buf.data()) + 8;
   EXPECT_DEATH(WorkerStatusTable::init(misaligned, 2), "aligned");
 }
 
 TEST(HooksTest, MirrorsFig9Instrumentation) {
-  auto buf = aligned_buffer(2);
-  auto wst = WorkerStatusTable::init(align64(buf), 2);
+  auto buf = wst_buffer(2);
+  auto wst = WorkerStatusTable::init(buf.data(), 2);
   EventLoopHooks hooks(wst, 1);
 
   hooks.on_loop_enter(SimTime::millis(1));
@@ -108,8 +103,8 @@ TEST(HooksTest, MirrorsFig9Instrumentation) {
 }
 
 TEST(HooksTest, ZeroEventsReturnedIsNoop) {
-  auto buf = aligned_buffer(1);
-  auto wst = WorkerStatusTable::init(align64(buf), 1);
+  auto buf = wst_buffer(1);
+  auto wst = WorkerStatusTable::init(buf.data(), 1);
   EventLoopHooks hooks(wst, 0);
   hooks.on_events_returned(0);
   EXPECT_EQ(wst.pending_events(0), 0);
@@ -121,8 +116,8 @@ TEST(HooksTest, ZeroEventsReturnedIsNoop) {
 TEST(WstConcurrencyTest, ParallelWritersDisjointSlots) {
   constexpr uint32_t kWorkers = 8;
   constexpr int kIters = 20000;
-  auto buf = aligned_buffer(kWorkers);
-  auto wst = WorkerStatusTable::init(align64(buf), kWorkers);
+  auto buf = wst_buffer(kWorkers);
+  auto wst = WorkerStatusTable::init(buf.data(), kWorkers);
 
   std::atomic<bool> stop{false};
   std::atomic<bool> torn{false};
