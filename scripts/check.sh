@@ -1,10 +1,11 @@
 #!/usr/bin/env bash
-# Full verification sweep: plain build + all ctest labels, then optional
-# sanitizer builds.
+# Full verification sweep: lint, plain build + all ctest labels, a
+# ThreadSanitizer pass over the concurrency-sensitive suites, then any
+# extra sanitizer sweeps requested on the command line.
 #
-#   scripts/check.sh                       # plain build, all tests
-#   scripts/check.sh address undefined     # plain + ASan + UBSan sweeps
-#   scripts/check.sh thread                # plain + TSan sweep
+#   scripts/check.sh                       # lint + plain + TSan concurrency
+#   scripts/check.sh address undefined     # ... + ASan + UBSan full sweeps
+#   scripts/check.sh thread                # ... + TSan over the full suite
 #   LABELS=torture scripts/check.sh        # restrict to one ctest label
 #
 # Each sanitizer gets its own build tree (build-<san>/) so the trees can be
@@ -25,7 +26,27 @@ run_suite() {
   ctest --test-dir "$dir" --output-on-failure -j "$JOBS" -L "$LABELS"
 }
 
+# TSan preset: only the suites that exercise cross-thread code (the WST
+# counters, scheduler reads against live writers, the seeded interleaving
+# explorer, shared-memory rings, the control plane). Much cheaper than a
+# full TSan sweep, and it is where a data race would actually live.
+TSAN_TESTS=(wst_test scheduler_test torture_interleave_test shm_test
+            control_test)
+run_tsan_concurrency() {
+  local dir=build-thread
+  echo "==> configure ${dir} (sanitize=thread, concurrency suites)"
+  cmake -B "$dir" -S . -DHERMES_SANITIZE=thread >/dev/null
+  echo "==> build ${dir}: ${TSAN_TESTS[*]}"
+  cmake --build "$dir" -j "$JOBS" --target "${TSAN_TESTS[@]}"
+  for t in "${TSAN_TESTS[@]}"; do
+    echo "==> tsan ${t}"
+    TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}" "$dir/tests/$t"
+  done
+}
+
+scripts/lint.sh
 run_suite build ""
+run_tsan_concurrency
 for san in "$@"; do
   case "$san" in
     address|undefined|thread) run_suite "build-$san" "$san" ;;

@@ -1,0 +1,37 @@
+// Machine-checked safety proof for the Hermes dispatch program (Algorithm 2
+// of the paper): every socket index the program hands to
+// sk_select_reuseport is provably < nr_socks, and the program's return
+// value is always kRetUseSelection or kRetFallback (so a failed selection
+// falls back to the kernel's reuseport hash instead of faulting).
+//
+// The proof is not a test over sampled inputs: it is the abstract
+// interpreter's over-approximation of *all* executions, so `ok == true`
+// means no context contents, map contents, or randomness can produce an
+// out-of-range index. tests/dispatch_prove_test.cc runs it at build time
+// for every supported pool geometry.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "bpf/analysis/interp.h"
+
+namespace hermes::bpf::analysis {
+
+struct DispatchProof {
+  bool ok = false;
+  std::string detail;       // per-callsite facts, or the failure reason
+  AnalysisResult analysis;  // the underlying abstract-interpretation result
+
+  explicit operator bool() const { return ok; }
+};
+
+// Proves, for a program already known to target a reuseport sockarray of
+// `nr_socks` entries, that (a) the program verifies, (b) every
+// SkSelectReuseport key is tracked and bounded below nr_socks, and
+// (c) every exit returns kRetUseSelection (0) or kRetFallback (1).
+DispatchProof prove_dispatch(const Program& prog,
+                             std::span<Map* const> maps, uint64_t nr_socks,
+                             const AnalysisOptions& opts = {});
+
+}  // namespace hermes::bpf::analysis

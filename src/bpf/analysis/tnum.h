@@ -1,0 +1,138 @@
+// Tracked-number ("tnum") abstract domain: per-bit knowledge of a 64-bit
+// value, modeled on the kernel verifier's tnum.c (Farnum-style known-bits).
+//
+// A tnum (value, mask) denotes the set of concrete u64 x with
+//   (x & ~mask) == value
+// i.e. bits where mask=0 are known to equal the corresponding bit of
+// `value`; bits where mask=1 are unknown. Invariant: value & mask == 0.
+//
+// Every transfer function here is *sound*: if x ∈ γ(a) and y ∈ γ(b) then
+// op(x, y) ∈ γ(op(a, b)). tests/analysis_property_test.cc checks this
+// against concrete 64-bit sampling for every operation.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+namespace hermes::bpf::analysis {
+
+struct Tnum {
+  uint64_t value = 0;    // known-one bits
+  uint64_t mask = ~0ull; // unknown bits (1 = unknown)
+
+  static constexpr Tnum unknown() { return {0, ~0ull}; }
+  static constexpr Tnum konst(uint64_t v) { return {v, 0}; }
+
+  // Smallest tnum containing every x in [min, max] (kernel tnum_range):
+  // the bits above the highest differing bit are common to min and max.
+  static constexpr Tnum range(uint64_t min, uint64_t max) {
+    const uint64_t chi = min ^ max;
+    const int bits = 64 - std::countl_zero(chi);
+    if (bits > 63) return unknown();
+    const uint64_t delta = (uint64_t{1} << bits) - 1;
+    return {min & ~delta, delta};
+  }
+
+  constexpr bool is_const() const { return mask == 0; }
+  constexpr bool contains(uint64_t x) const { return (x & ~mask) == value; }
+  // Least / greatest member of the concretization.
+  constexpr uint64_t min() const { return value; }
+  constexpr uint64_t max() const { return value | mask; }
+
+  constexpr bool operator==(const Tnum&) const = default;
+
+  // a ⊆ b: every member of a is a member of b.
+  static constexpr bool subsumes(const Tnum& a, const Tnum& b) {
+    return (a.mask & ~b.mask) == 0 && ((a.value ^ b.value) & ~b.mask) == 0;
+  }
+
+  // Intersection; returns false when the two tnums share no member
+  // (conflicting known bits) — the caller treats that as an infeasible path.
+  static constexpr bool intersect(const Tnum& a, const Tnum& b, Tnum* out) {
+    if (((a.value ^ b.value) & ~a.mask & ~b.mask) != 0) return false;
+    const uint64_t v = a.value | b.value;
+    const uint64_t mu = a.mask & b.mask;
+    *out = {v & ~mu, mu};
+    return true;
+  }
+
+  // Union (join): bits that differ or are unknown on either side.
+  static constexpr Tnum join(const Tnum& a, const Tnum& b) {
+    const uint64_t mu = a.mask | b.mask | (a.value ^ b.value);
+    return {a.value & ~mu, mu};
+  }
+
+  static constexpr Tnum add(const Tnum& a, const Tnum& b) {
+    const uint64_t sm = a.mask + b.mask;
+    const uint64_t sv = a.value + b.value;
+    const uint64_t sigma = sm + sv;
+    const uint64_t chi = sigma ^ sv;
+    const uint64_t mu = chi | a.mask | b.mask;
+    return {sv & ~mu, mu};
+  }
+
+  static constexpr Tnum sub(const Tnum& a, const Tnum& b) {
+    const uint64_t dv = a.value - b.value;
+    const uint64_t alpha = dv + a.mask;
+    const uint64_t beta = dv - b.mask;
+    const uint64_t chi = alpha ^ beta;
+    const uint64_t mu = chi | a.mask | b.mask;
+    return {dv & ~mu, mu};
+  }
+
+  static constexpr Tnum and_(const Tnum& a, const Tnum& b) {
+    const uint64_t alpha = a.value | a.mask;
+    const uint64_t beta = b.value | b.mask;
+    const uint64_t v = a.value & b.value;
+    return {v, alpha & beta & ~v};
+  }
+
+  static constexpr Tnum or_(const Tnum& a, const Tnum& b) {
+    const uint64_t v = a.value | b.value;
+    const uint64_t mu = a.mask | b.mask;
+    return {v, mu & ~v};
+  }
+
+  static constexpr Tnum xor_(const Tnum& a, const Tnum& b) {
+    const uint64_t v = a.value ^ b.value;
+    const uint64_t mu = a.mask | b.mask;
+    return {v & ~mu, mu};
+  }
+
+  // Shift amounts must already be reduced (& 63) by the caller.
+  static constexpr Tnum lshift(const Tnum& a, uint8_t k) {
+    return {a.value << k, a.mask << k};
+  }
+  static constexpr Tnum rshift(const Tnum& a, uint8_t k) {
+    return {a.value >> k, a.mask >> k};
+  }
+  static constexpr Tnum arshift(const Tnum& a, uint8_t k) {
+    return {static_cast<uint64_t>(static_cast<int64_t>(a.value) >> k),
+            static_cast<uint64_t>(static_cast<int64_t>(a.mask) >> k)};
+  }
+
+  // Kernel tnum_mul: decompose a into known-one and unknown bits, summing
+  // partial products; unknown multiplicand bits poison via tnum_add.
+  static constexpr Tnum mul(Tnum a, Tnum b) {
+    const uint64_t acc_v = a.value * b.value;
+    Tnum acc_m{0, 0};
+    while (a.value != 0 || a.mask != 0) {
+      if ((a.value & 1) != 0) {
+        acc_m = add(acc_m, Tnum{0, b.mask});
+      } else if ((a.mask & 1) != 0) {
+        acc_m = add(acc_m, Tnum{0, b.value | b.mask});
+      }
+      a = rshift(a, 1);
+      b = lshift(b, 1);
+    }
+    return add(konst(acc_v), acc_m);
+  }
+
+  // Truncate to the low 32 bits; the high 32 become known-zero
+  // (BPF_ALU32 results are zero-extended).
+  static constexpr Tnum cast32(const Tnum& a) {
+    return {a.value & 0xffffffffull, a.mask & 0xffffffffull};
+  }
+};
+
+}  // namespace hermes::bpf::analysis

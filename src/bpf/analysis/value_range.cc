@@ -1,0 +1,460 @@
+#include "bpf/analysis/value_range.h"
+
+#include <algorithm>
+#include <bit>
+#include <sstream>
+
+namespace hermes::bpf::analysis {
+
+namespace {
+
+constexpr uint64_t kU64Max = ~0ull;
+constexpr uint64_t kU32Max = 0xffffffffull;
+constexpr int64_t kS64Min = std::numeric_limits<int64_t>::min();
+constexpr int64_t kS64Max = std::numeric_limits<int64_t>::max();
+
+ValueRange synced_or_unknown(ValueRange r) {
+  // Transfer functions of total operations cannot produce an empty set from
+  // sound non-empty inputs; a failed sync here would mean one of the bounds
+  // below is buggy, so fall back to ⊤ rather than propagate nonsense.
+  if (!r.sync()) return ValueRange::unknown();
+  return r;
+}
+
+ValueRange vr_add(const ValueRange& a, const ValueRange& b) {
+  ValueRange r = ValueRange::unknown();
+  r.tn = Tnum::add(a.tn, b.tn);
+  uint64_t ulo = 0;
+  uint64_t uhi = 0;
+  if (!__builtin_add_overflow(a.umin, b.umin, &ulo) &&
+      !__builtin_add_overflow(a.umax, b.umax, &uhi)) {
+    r.umin = ulo;
+    r.umax = uhi;
+  }
+  int64_t slo = 0;
+  int64_t shi = 0;
+  if (!__builtin_add_overflow(a.smin, b.smin, &slo) &&
+      !__builtin_add_overflow(a.smax, b.smax, &shi)) {
+    r.smin = slo;
+    r.smax = shi;
+  }
+  return synced_or_unknown(r);
+}
+
+ValueRange vr_sub(const ValueRange& a, const ValueRange& b) {
+  ValueRange r = ValueRange::unknown();
+  r.tn = Tnum::sub(a.tn, b.tn);
+  if (a.umin >= b.umax) {  // no wrap possible
+    r.umin = a.umin - b.umax;
+    r.umax = a.umax - b.umin;
+  }
+  int64_t slo = 0;
+  int64_t shi = 0;
+  if (!__builtin_sub_overflow(a.smin, b.smax, &slo) &&
+      !__builtin_sub_overflow(a.smax, b.smin, &shi)) {
+    r.smin = slo;
+    r.smax = shi;
+  }
+  return synced_or_unknown(r);
+}
+
+ValueRange vr_mul(const ValueRange& a, const ValueRange& b) {
+  ValueRange r = ValueRange::unknown();
+  r.tn = Tnum::mul(a.tn, b.tn);
+  const auto prod_hi =
+      static_cast<unsigned __int128>(a.umax) * b.umax;
+  if (prod_hi <= kU64Max) {  // unsigned multiply is monotone when it fits
+    r.umin = a.umin * b.umin;
+    r.umax = static_cast<uint64_t>(prod_hi);
+  }
+  return synced_or_unknown(r);
+}
+
+// VM rule: division by zero yields 0.
+ValueRange vr_udiv(const ValueRange& a, const ValueRange& b) {
+  ValueRange r = ValueRange::unknown();
+  if (b.umin > 0) {
+    r.umin = a.umin / b.umax;
+    r.umax = a.umax / b.umin;
+  } else {
+    r.umin = 0;
+    r.umax = a.umax;  // x/y <= x for y >= 1, and y == 0 gives 0
+  }
+  return synced_or_unknown(r);
+}
+
+// VM rule: mod by zero leaves dst unchanged.
+ValueRange vr_umod(const ValueRange& a, const ValueRange& b) {
+  if (a.umax < b.umin) return a;  // x % y == x when x < y (and y > 0)
+  ValueRange r = ValueRange::unknown();
+  r.umin = 0;
+  r.umax = (b.umin > 0) ? std::min(a.umax, b.umax - 1) : a.umax;
+  return synced_or_unknown(r);
+}
+
+ValueRange vr_and(const ValueRange& a, const ValueRange& b) {
+  ValueRange r = ValueRange::unknown();
+  r.tn = Tnum::and_(a.tn, b.tn);
+  r.umax = std::min(a.umax, b.umax);
+  // If either operand's sign bit is provably clear, so is the result's.
+  if (a.smin >= 0 || b.smin >= 0) r.smin = 0;
+  return synced_or_unknown(r);
+}
+
+// x|y (and x^y) cannot set a bit above the highest bit of either operand.
+uint64_t bit_fill_max(uint64_t a_umax, uint64_t b_umax) {
+  const int bits = std::bit_width(std::max(a_umax, b_umax));
+  if (bits >= 64) return kU64Max;
+  return (uint64_t{1} << bits) - 1;
+}
+
+ValueRange vr_or(const ValueRange& a, const ValueRange& b) {
+  ValueRange r = ValueRange::unknown();
+  r.tn = Tnum::or_(a.tn, b.tn);
+  r.umin = std::max(a.umin, b.umin);  // x|y >= max(x, y)
+  r.umax = bit_fill_max(a.umax, b.umax);
+  return synced_or_unknown(r);
+}
+
+ValueRange vr_xor(const ValueRange& a, const ValueRange& b) {
+  ValueRange r = ValueRange::unknown();
+  r.tn = Tnum::xor_(a.tn, b.tn);
+  r.umax = bit_fill_max(a.umax, b.umax);
+  return synced_or_unknown(r);
+}
+
+// Shift-amount range, already reduced by the VM's mask (63 or 31).
+ValueRange shift_amount(const ValueRange& b, uint64_t mask) {
+  return vr_and(b, ValueRange::konst(mask));
+}
+
+ValueRange vr_lsh(const ValueRange& a, const ValueRange& k) {
+  ValueRange r = ValueRange::unknown();
+  if (k.is_const()) {
+    const auto sh = static_cast<uint8_t>(k.const_val());
+    r.tn = Tnum::lshift(a.tn, sh);
+    if (a.umax <= (kU64Max >> sh)) {  // no bits shifted out
+      r.umin = a.umin << sh;
+      r.umax = a.umax << sh;
+    }
+  }
+  return synced_or_unknown(r);
+}
+
+ValueRange vr_rsh(const ValueRange& a, const ValueRange& k) {
+  ValueRange r = ValueRange::unknown();
+  if (k.is_const()) {
+    r.tn = Tnum::rshift(a.tn, static_cast<uint8_t>(k.const_val()));
+  }
+  // Logical right shift is monotone in the value and antitone in the
+  // shift amount (k.umax <= 63 after masking).
+  r.umin = a.umin >> k.umax;
+  r.umax = a.umax >> k.umin;
+  return synced_or_unknown(r);
+}
+
+ValueRange vr_arsh(const ValueRange& a, const ValueRange& k) {
+  ValueRange r = ValueRange::unknown();
+  if (k.is_const()) {
+    const auto sh = static_cast<uint8_t>(k.const_val());
+    r.tn = Tnum::arshift(a.tn, sh);
+    r.smin = a.smin >> sh;
+    r.smax = a.smax >> sh;
+  } else if (a.smin >= 0) {
+    // Non-negative values: behaves as a logical shift.
+    r.umin = a.umin >> k.umax;
+    r.umax = a.umax >> k.umin;
+  } else if (a.smax < 0) {
+    // Negative values move toward -1 as the shift grows.
+    r.smin = a.smin >> k.umin;
+    r.smax = a.smax >> k.umax;
+  }
+  return synced_or_unknown(r);
+}
+
+// Sign-extend a 32-bit-domain range ([0, 2^32)) to 64 bits.
+ValueRange sext32(const ValueRange& a32) {
+  constexpr uint64_t kHi = 0xffffffff00000000ull;
+  constexpr uint64_t kBit31 = 0x80000000ull;
+  ValueRange r = ValueRange::unknown();
+  if ((a32.tn.mask & kBit31) == 0) {  // sign bit known
+    r.tn = (a32.tn.value & kBit31) == 0
+               ? a32.tn
+               : Tnum{a32.tn.value | kHi, a32.tn.mask};
+  } else {
+    r.tn = Tnum{a32.tn.value, a32.tn.mask | kHi};
+  }
+  if (a32.umax < kBit31) {
+    r.umin = a32.umin;
+    r.umax = a32.umax;
+  } else if (a32.umin >= kBit31) {
+    r.umin = a32.umin | kHi;
+    r.umax = a32.umax | kHi;
+  }
+  return synced_or_unknown(r);
+}
+
+// 32-bit ALU: the VM truncates both operands, operates, and truncates the
+// result; modeling the op on the truncated 64-bit domains and casting the
+// result back is exact for wrap-around semantics.
+ValueRange vr_alu32(Op op, const ValueRange& a, const ValueRange& b) {
+  const ValueRange a32 = a.cast32();
+  const ValueRange b32 = b.cast32();
+  ValueRange r;
+  switch (op) {
+    case Op::Add32Reg: case Op::Add32Imm: r = vr_add(a32, b32); break;
+    case Op::Sub32Reg: case Op::Sub32Imm: r = vr_sub(a32, b32); break;
+    case Op::Mul32Reg: case Op::Mul32Imm: r = vr_mul(a32, b32); break;
+    case Op::Div32Reg: case Op::Div32Imm: r = vr_udiv(a32, b32); break;
+    case Op::Mod32Reg: case Op::Mod32Imm: r = vr_umod(a32, b32); break;
+    case Op::And32Reg: case Op::And32Imm: r = vr_and(a32, b32); break;
+    case Op::Or32Reg:  case Op::Or32Imm:  r = vr_or(a32, b32); break;
+    case Op::Xor32Reg: case Op::Xor32Imm: r = vr_xor(a32, b32); break;
+    case Op::Lsh32Reg: case Op::Lsh32Imm:
+      r = vr_lsh(a32, shift_amount(b, 31));
+      break;
+    case Op::Rsh32Reg: case Op::Rsh32Imm:
+      r = vr_rsh(a32, shift_amount(b, 31));
+      break;
+    case Op::Arsh32Reg: case Op::Arsh32Imm:
+      r = vr_arsh(sext32(a32), shift_amount(b, 31));
+      break;
+    case Op::Neg32:
+      r = vr_sub(ValueRange::konst(0), a32);
+      break;
+    default:
+      r = ValueRange::unknown();
+      break;
+  }
+  return r.cast32();
+}
+
+enum class Rel { Eq, Ne, Gt, Ge, Lt, Le, SGt, SGe, SLt, SLe, Set, NSet };
+
+// Exclude the single value `c` from v's interval endpoints (d != c).
+// Returns false when that leaves the range empty.
+bool exclude_endpoint(ValueRange& v, uint64_t c) {
+  if (v.umin == c) {
+    if (c == kU64Max) return false;
+    v.umin = c + 1;
+  }
+  if (v.umax == c) {
+    if (c == 0) return false;
+    v.umax = c - 1;
+  }
+  const auto sc = static_cast<int64_t>(c);
+  if (v.smin == sc) {
+    if (sc == kS64Max) return false;
+    v.smin = sc + 1;
+  }
+  if (v.smax == sc) {
+    if (sc == kS64Min) return false;
+    v.smax = sc - 1;
+  }
+  return true;
+}
+
+bool apply_rel(Rel rel, ValueRange& d, ValueRange& s) {
+  switch (rel) {
+    case Rel::Eq: {
+      ValueRange m;
+      if (!Tnum::intersect(d.tn, s.tn, &m.tn)) return false;
+      m.umin = std::max(d.umin, s.umin);
+      m.umax = std::min(d.umax, s.umax);
+      m.smin = std::max(d.smin, s.smin);
+      m.smax = std::min(d.smax, s.smax);
+      if (!m.sync()) return false;
+      d = s = m;
+      return true;
+    }
+    case Rel::Ne:
+      if (d.is_const() && s.is_const() &&
+          d.const_val() == s.const_val()) {
+        return false;
+      }
+      if (s.is_const() && !exclude_endpoint(d, s.const_val())) return false;
+      if (d.is_const() && !exclude_endpoint(s, d.const_val())) return false;
+      break;
+    case Rel::Gt:  // d > s
+      if (s.umin == kU64Max || d.umax == 0) return false;
+      d.umin = std::max(d.umin, s.umin + 1);
+      s.umax = std::min(s.umax, d.umax - 1);
+      break;
+    case Rel::Ge:
+      d.umin = std::max(d.umin, s.umin);
+      s.umax = std::min(s.umax, d.umax);
+      break;
+    case Rel::Lt:  // d < s
+      if (s.umax == 0 || d.umin == kU64Max) return false;
+      d.umax = std::min(d.umax, s.umax - 1);
+      s.umin = std::max(s.umin, d.umin + 1);
+      break;
+    case Rel::Le:
+      d.umax = std::min(d.umax, s.umax);
+      s.umin = std::max(s.umin, d.umin);
+      break;
+    case Rel::SGt:
+      if (s.smin == kS64Max || d.smax == kS64Min) return false;
+      d.smin = std::max(d.smin, s.smin + 1);
+      s.smax = std::min(s.smax, d.smax - 1);
+      break;
+    case Rel::SGe:
+      d.smin = std::max(d.smin, s.smin);
+      s.smax = std::min(s.smax, d.smax);
+      break;
+    case Rel::SLt:
+      if (s.smax == kS64Min || d.smin == kS64Max) return false;
+      d.smax = std::min(d.smax, s.smax - 1);
+      s.smin = std::max(s.smin, d.smin + 1);
+      break;
+    case Rel::SLe:
+      d.smax = std::min(d.smax, s.smax);
+      s.smin = std::max(s.smin, d.smin);
+      break;
+    case Rel::Set:  // (d & s) != 0
+      if ((d.tn.max() & s.tn.max()) == 0) return false;
+      break;
+    case Rel::NSet:  // (d & s) == 0
+      // A bit known set on both sides contradicts (d & s) == 0.
+      if ((d.tn.value & s.tn.value) != 0) return false;
+      // Bits known set in one operand are known clear in the other.
+      d.tn.mask &= ~s.tn.value;
+      s.tn.mask &= ~d.tn.value;
+      break;
+  }
+  return d.sync() && s.sync();
+}
+
+}  // namespace
+
+bool ValueRange::sync() {
+  // Each pass only tightens; three passes reach the kernel's fixpoint for
+  // these rules (tnum <-> unsigned <-> signed).
+  for (int i = 0; i < 3; ++i) {
+    umin = std::max(umin, tn.min());
+    umax = std::min(umax, tn.max());
+    if (umin > umax) return false;
+    if (!Tnum::intersect(tn, Tnum::range(umin, umax), &tn)) return false;
+    // Signed -> unsigned: valid when all values share a sign.
+    if (smin >= 0 || smax < 0) {
+      umin = std::max(umin, static_cast<uint64_t>(smin));
+      umax = std::min(umax, static_cast<uint64_t>(smax));
+      if (umin > umax) return false;
+    }
+    // Unsigned -> signed: valid when all values land in one signed half.
+    if (umax <= static_cast<uint64_t>(kS64Max) ||
+        umin > static_cast<uint64_t>(kS64Max)) {
+      smin = std::max(smin, static_cast<int64_t>(umin));
+      smax = std::min(smax, static_cast<int64_t>(umax));
+      if (smin > smax) return false;
+    }
+  }
+  return true;
+}
+
+ValueRange ValueRange::cast32() const {
+  ValueRange r = unknown();
+  r.tn = Tnum::cast32(tn);
+  if (umax <= kU32Max) {  // truncation is the identity on [0, 2^32)
+    r.umin = umin;
+    r.umax = umax;
+  } else {
+    r.umin = 0;
+    r.umax = kU32Max;
+  }
+  return synced_or_unknown(r);
+}
+
+ValueRange ValueRange::join(const ValueRange& a, const ValueRange& b) {
+  ValueRange r;
+  r.tn = Tnum::join(a.tn, b.tn);
+  r.umin = std::min(a.umin, b.umin);
+  r.umax = std::max(a.umax, b.umax);
+  r.smin = std::min(a.smin, b.smin);
+  r.smax = std::max(a.smax, b.smax);
+  return synced_or_unknown(r);
+}
+
+ValueRange ValueRange::widen(const ValueRange& cur, const ValueRange& next) {
+  ValueRange r = join(cur, next);
+  if (r.umin < cur.umin) r.umin = 0;
+  if (r.umax > cur.umax) r.umax = kU64Max;
+  if (r.smin < cur.smin) r.smin = kS64Min;
+  if (r.smax > cur.smax) r.smax = kS64Max;
+  return synced_or_unknown(r);
+}
+
+bool ValueRange::subsumes(const ValueRange& a, const ValueRange& b) {
+  return b.umin <= a.umin && a.umax <= b.umax && b.smin <= a.smin &&
+         a.smax <= b.smax && Tnum::subsumes(a.tn, b.tn);
+}
+
+ValueRange ValueRange::alu(Op op, const ValueRange& a, const ValueRange& b) {
+  switch (op) {
+    case Op::AddReg: case Op::AddImm: return vr_add(a, b);
+    case Op::SubReg: case Op::SubImm: return vr_sub(a, b);
+    case Op::MulReg: case Op::MulImm: return vr_mul(a, b);
+    case Op::DivReg: case Op::DivImm: return vr_udiv(a, b);
+    case Op::ModReg: case Op::ModImm: return vr_umod(a, b);
+    case Op::AndReg: case Op::AndImm: return vr_and(a, b);
+    case Op::OrReg:  case Op::OrImm:  return vr_or(a, b);
+    case Op::XorReg: case Op::XorImm: return vr_xor(a, b);
+    case Op::LshReg: case Op::LshImm:
+      return vr_lsh(a, shift_amount(b, 63));
+    case Op::RshReg: case Op::RshImm:
+      return vr_rsh(a, shift_amount(b, 63));
+    case Op::ArshReg: case Op::ArshImm:
+      return vr_arsh(a, shift_amount(b, 63));
+    case Op::Neg:
+      return vr_sub(konst(0), a);
+    default:
+      return vr_alu32(op, a, b);
+  }
+}
+
+bool ValueRange::refine_branch(Op op, bool taken, ValueRange& d,
+                               ValueRange& s) {
+  Rel rel{};
+  switch (op) {
+    case Op::JeqReg: case Op::JeqImm: rel = taken ? Rel::Eq : Rel::Ne; break;
+    case Op::JneReg: case Op::JneImm: rel = taken ? Rel::Ne : Rel::Eq; break;
+    case Op::JgtReg: case Op::JgtImm: rel = taken ? Rel::Gt : Rel::Le; break;
+    case Op::JgeReg: case Op::JgeImm: rel = taken ? Rel::Ge : Rel::Lt; break;
+    case Op::JltReg: case Op::JltImm: rel = taken ? Rel::Lt : Rel::Ge; break;
+    case Op::JleReg: case Op::JleImm: rel = taken ? Rel::Le : Rel::Gt; break;
+    case Op::JsgtReg: case Op::JsgtImm:
+      rel = taken ? Rel::SGt : Rel::SLe;
+      break;
+    case Op::JsgeReg: case Op::JsgeImm:
+      rel = taken ? Rel::SGe : Rel::SLt;
+      break;
+    case Op::JsltReg: case Op::JsltImm:
+      rel = taken ? Rel::SLt : Rel::SGe;
+      break;
+    case Op::JsleReg: case Op::JsleImm:
+      rel = taken ? Rel::SLe : Rel::SGt;
+      break;
+    case Op::JsetReg: case Op::JsetImm:
+      rel = taken ? Rel::Set : Rel::NSet;
+      break;
+    default:
+      return true;  // Ja and friends: nothing to learn
+  }
+  return apply_rel(rel, d, s);
+}
+
+std::string to_string(const ValueRange& v) {
+  std::ostringstream os;
+  if (v.is_const()) {
+    os << "const " << v.const_val();
+    if (v.const_val() > 9) os << " (0x" << std::hex << v.const_val() << ")";
+    return os.str();
+  }
+  os << "u[" << v.umin << "," << v.umax << "]";
+  os << " s[" << v.smin << "," << v.smax << "]";
+  os << " tnum(v=0x" << std::hex << v.tn.value << ",m=0x" << v.tn.mask
+     << ")";
+  return os.str();
+}
+
+}  // namespace hermes::bpf::analysis

@@ -1,0 +1,84 @@
+// Compound scalar abstract domain: a tnum (known bits) refined by unsigned
+// [umin, umax] and signed [smin, smax] intervals, mirroring the kernel
+// verifier's bpf_reg_state bounds. The three views are kept mutually
+// consistent by sync() (the kernel's reg_bounds_sync/deduce dance).
+//
+// Soundness contract: if x is a concrete value a register may hold, then
+// x ∈ γ(range) for the ValueRange the analyzer computes for that register.
+// All transfer functions and branch refinements preserve this; it is what
+// lets the verifier accept variable-offset memory accesses, and it is
+// checked against concrete 64-bit sampling in tests/analysis_property_test.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+#include "bpf/analysis/tnum.h"
+#include "bpf/insn.h"
+
+namespace hermes::bpf::analysis {
+
+struct ValueRange {
+  Tnum tn = Tnum::unknown();
+  uint64_t umin = 0;
+  uint64_t umax = ~0ull;
+  int64_t smin = std::numeric_limits<int64_t>::min();
+  int64_t smax = std::numeric_limits<int64_t>::max();
+
+  static ValueRange unknown() { return {}; }
+  static ValueRange konst(uint64_t v) {
+    ValueRange r;
+    r.tn = Tnum::konst(v);
+    r.umin = r.umax = v;
+    r.smin = r.smax = static_cast<int64_t>(v);
+    return r;
+  }
+  static ValueRange bounded(uint64_t lo, uint64_t hi) {
+    ValueRange r;
+    r.umin = lo;
+    r.umax = hi;
+    r.sync();
+    return r;
+  }
+
+  bool operator==(const ValueRange&) const = default;
+
+  bool is_const() const { return umin == umax; }
+  uint64_t const_val() const { return umin; }
+  bool contains(uint64_t x) const {
+    const auto sx = static_cast<int64_t>(x);
+    return tn.contains(x) && x >= umin && x <= umax && sx >= smin &&
+           sx <= smax;
+  }
+
+  // Propagate knowledge between the tnum and the two interval views until
+  // stable. Returns false when the views contradict (empty concretization);
+  // the caller treats that as an infeasible path.
+  bool sync();
+
+  // Truncation to the low 32 bits, zero-extended (BPF_ALU32 result rule).
+  ValueRange cast32() const;
+
+  // Least upper bound, and the widening operator applied at join points
+  // that keep growing: any interval direction that moved past `cur` jumps
+  // to its extreme so chains are finite (the tnum lattice already is).
+  static ValueRange join(const ValueRange& a, const ValueRange& b);
+  static ValueRange widen(const ValueRange& cur, const ValueRange& next);
+  // a ⊆ b on all three views.
+  static bool subsumes(const ValueRange& a, const ValueRange& b);
+
+  // Transfer function for any ALU64/ALU32 opcode (Reg or Imm form; the
+  // caller wraps an immediate as konst of its VM operand value). Mov and
+  // the Ld* pseudo-ops are handled by the interpreter directly.
+  static ValueRange alu(Op op, const ValueRange& a, const ValueRange& b);
+
+  // Refine d (and s, for reg-reg forms) along one edge of a conditional
+  // jump: `taken` selects the jump edge, otherwise the fall-through.
+  // Returns false when that edge is infeasible (dead branch).
+  static bool refine_branch(Op op, bool taken, ValueRange& d, ValueRange& s);
+};
+
+std::string to_string(const ValueRange& v);
+
+}  // namespace hermes::bpf::analysis

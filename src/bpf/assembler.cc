@@ -3,11 +3,12 @@
 namespace hermes::bpf {
 
 Assembler& Assembler::label(const std::string& name) {
+  HERMES_CHECK_MSG(bound_.emplace(name, prog_.size()).second,
+                   "label bound twice in bpf program");
   auto it = pending_.find(name);
   if (it != pending_.end()) {
     const size_t target = prog_.size();
     for (size_t site : it->second) {
-      HERMES_CHECK_MSG(target > site, "labels must be forward references");
       prog_[site].off = static_cast<int32_t>(target - site - 1);
     }
     pending_.erase(it);

@@ -1,8 +1,10 @@
 // A tiny structured assembler for building bpf::Program values in C++.
 //
-// Provides named labels with fixup (forward references only, matching the
-// verifier's forward-jump constraint) so the Hermes dispatch program can be
-// written readably in core/dispatch_prog.cc.
+// Provides named labels with fixup so the Hermes dispatch program can be
+// written readably in core/dispatch_prog.cc. A jump may reference a label
+// bound later (forward fixup) or one already bound (backward edge — the
+// verifier accepts these when its abstract interpreter can prove the loop
+// bounded). Each label may be bound exactly once.
 #pragma once
 
 #include <map>
@@ -92,7 +94,8 @@ class Assembler {
   Assembler& st_dw(R d, int32_t off, int32_t i) { return emit({Op::StDW, d.idx, 0, off, i}); }
 
   // --- control flow ----------------------------------------------------
-  // Labels must be bound after all jumps that reference them (forward-only).
+  // A jump may name a label bound later (forward fixup) or earlier
+  // (backward edge, resolved immediately).
   Assembler& ja(const std::string& label) { return jmp(Op::Ja, r0, r0, 0, label); }
   Assembler& jeq(R d, R s, const std::string& l) { return jmp(Op::JeqReg, d, s, 0, l); }
   Assembler& jeq(R d, int64_t i, const std::string& l) { return jmp(Op::JeqImm, d, r0, i, l); }
@@ -113,7 +116,8 @@ class Assembler {
   }
   Assembler& exit() { return emit({Op::Exit}); }
 
-  // Bind `label` to the next emitted instruction and patch pending jumps.
+  // Bind `label` to the next emitted instruction and patch pending forward
+  // jumps; later jumps to it resolve immediately as backward edges.
   Assembler& label(const std::string& name);
 
   // Finalize: checks all labels resolved, returns the program.
@@ -127,12 +131,20 @@ class Assembler {
     return *this;
   }
   Assembler& jmp(Op op, R d, R s, int64_t imm, const std::string& label) {
-    pending_[label].push_back(prog_.size());
-    return emit({op, d.idx, s.idx, /*off=*/0, imm});
+    int32_t off = 0;
+    if (auto it = bound_.find(label); it != bound_.end()) {
+      // Already-bound label: resolve as a backward edge right away.
+      off = static_cast<int32_t>(static_cast<int64_t>(it->second) -
+                                 static_cast<int64_t>(prog_.size()) - 1);
+    } else {
+      pending_[label].push_back(prog_.size());
+    }
+    return emit({op, d.idx, s.idx, off, imm});
   }
 
   Program prog_;
   std::map<std::string, std::vector<size_t>> pending_;
+  std::map<std::string, size_t> bound_;
 };
 
 }  // namespace hermes::bpf

@@ -4,8 +4,11 @@
 // the 4.19-era kernels the paper deploys on:
 //   * 11 registers r0..r10; r10 is the read-only frame pointer,
 //   * a 512-byte stack,
-//   * forward-only control flow (the verifier rejects back-edges, i.e. the
-//     "no loops" constraint the paper works around with bitwise tricks),
+//   * verified control flow: backward edges are accepted only when the
+//     abstract interpreter (bpf/analysis/) proves the loop bounded, as in
+//     post-5.3 kernels — the dispatch program itself remains straight-line
+//     because the paper's 4.19 deployment target rejects all back-edges,
+//     hence its bitwise popcount tricks,
 //   * helper calls with typed signatures,
 //   * maps bound at load time (LdMapFd pseudo-instruction, as in the real
 //     BPF_LD_IMM64 + BPF_PSEUDO_MAP_FD).

@@ -1,525 +1,59 @@
 #include "bpf/verifier.h"
 
-#include <array>
-#include <optional>
+#include <algorithm>
 #include <sstream>
+
+#include "bpf/analysis/interp.h"
 
 namespace hermes::bpf {
 
 namespace {
 
-enum class Kind : uint8_t {
-  Uninit,
-  Scalar,
-  PtrStack,          // delta relative to r10 (<= 0 for valid accesses)
-  PtrCtx,            // delta from context start
-  PtrMapValue,       // non-null, delta from value start; map_slot valid
-  PtrMapValueOrNull, // must be null-checked before dereference
-  MapHandle,         // map_slot valid
-};
-
-struct RegState {
-  Kind kind = Kind::Uninit;
-  int64_t delta = 0;
-  int32_t map_slot = -1;
-
-  bool operator==(const RegState&) const = default;
-};
-
-using Regs = std::array<RegState, kNumRegs>;
-
-// 8-byte stack slots for spill tracking (BPF_REG_FP-relative). A slot holds
-// the RegState of a value spilled with a 64-bit store; anything else (data
-// writes, partial writes) degrades it to Scalar.
-inline constexpr size_t kStackSlots = kStackSize / 8;
-using Slots = std::array<RegState, kStackSlots>;
-
-struct AbsState {
-  Regs regs{};
-  Slots slots{};
-  bool reachable = false;
-};
-
-bool is_pointer(Kind k) {
-  return k == Kind::PtrStack || k == Kind::PtrCtx || k == Kind::PtrMapValue ||
-         k == Kind::PtrMapValueOrNull;
-}
-
-RegState meet(const RegState& a, const RegState& b) {
-  if (a == b) return a;
-  if (a.kind == b.kind && a.kind == Kind::Scalar) return a;
-  // Same map value pointer with different deltas or anything mismatched:
-  // conservatively unknown.
-  return RegState{};  // Uninit
-}
-
-void meet_into(AbsState& dst, const Regs& src, const Slots& src_slots) {
-  if (!dst.reachable) {
-    dst.regs = src;
-    dst.slots = src_slots;
-    dst.reachable = true;
-    return;
+// A short disassembly window around the failing instruction, with the
+// offender marked — kernel-verifier-style context for rejection logs.
+std::string disasm_window(const Program& prog, size_t err_pc) {
+  if (prog.empty()) return {};
+  const size_t lo = err_pc >= 3 ? err_pc - 3 : 0;
+  const size_t hi = std::min(prog.size() - 1, err_pc + 3);
+  std::ostringstream os;
+  for (size_t pc = lo; pc <= hi; ++pc) {
+    os << (pc == err_pc ? " -> " : "    ") << pc << ": "
+       << disassemble(prog[pc]) << "\n";
   }
-  for (size_t i = 0; i < dst.regs.size(); ++i) {
-    dst.regs[i] = meet(dst.regs[i], src[i]);
-  }
-  for (size_t i = 0; i < dst.slots.size(); ++i) {
-    dst.slots[i] = meet(dst.slots[i], src_slots[i]);
-  }
+  return os.str();
 }
 
-// Slot index for a stack access at fp-relative offset `lo` (negative), or
-// -1 if not exactly one aligned 8-byte slot.
-int aligned_slot(int64_t lo, int size) {
-  if (size != 8 || lo % 8 != 0) return -1;
-  const int64_t idx = (static_cast<int64_t>(kStackSize) + lo) / 8;
-  if (idx < 0 || idx >= static_cast<int64_t>(kStackSlots)) return -1;
-  return static_cast<int>(idx);
-}
+}  // namespace
 
-// Degrade any slot a [lo, lo+size) stack write overlaps to Scalar.
-void clobber_slots(Slots& slots, int64_t lo, int size) {
-  const int64_t first = (static_cast<int64_t>(kStackSize) + lo) / 8;
-  const int64_t last =
-      (static_cast<int64_t>(kStackSize) + lo + size - 1) / 8;
-  for (int64_t i = std::max<int64_t>(0, first);
-       i <= last && i < static_cast<int64_t>(kStackSlots); ++i) {
-    slots[static_cast<size_t>(i)] = RegState{Kind::Scalar, 0, -1};
-  }
-}
-
-struct HelperSig {
-  HelperId id;
-  int num_args;
-  Kind arg[5];
-  // MapHandle argument constraint (or nullopt for any type).
-  std::optional<MapType> map_arg_type;
-  Kind ret;
-};
-
-const HelperSig* find_sig(int64_t imm) {
-  static const HelperSig kSigs[] = {
-      {HelperId::MapLookupElem, 2, {Kind::MapHandle, Kind::PtrStack},
-       MapType::Array, Kind::PtrMapValueOrNull},
-      {HelperId::MapUpdateElem, 4,
-       {Kind::MapHandle, Kind::PtrStack, Kind::PtrStack, Kind::Scalar},
-       MapType::Array, Kind::Scalar},
-      {HelperId::SkSelectReuseport, 4,
-       {Kind::PtrCtx, Kind::MapHandle, Kind::PtrStack, Kind::Scalar},
-       MapType::ReuseportSockArray, Kind::Scalar},
-      {HelperId::KtimeGetNs, 0, {}, std::nullopt, Kind::Scalar},
-      {HelperId::GetPrandomU32, 0, {}, std::nullopt, Kind::Scalar},
-  };
-  for (const auto& s : kSigs) {
-    if (static_cast<int64_t>(s.id) == imm) return &s;
-  }
-  return nullptr;
-}
-
-int access_size(Op op) {
-  switch (op) {
-    case Op::LdxB: case Op::StxB: case Op::StB: return 1;
-    case Op::LdxH: case Op::StxH: case Op::StH: return 2;
-    case Op::LdxW: case Op::StxW: case Op::StW: return 4;
-    case Op::LdxDW: case Op::StxDW: case Op::StDW: return 8;
-    default: return 0;
-  }
-}
-
-class VerifierImpl {
- public:
-  VerifierImpl(const Program& prog, std::span<Map* const> maps)
-      : prog_(prog), maps_(maps), states_(prog.size() + 1) {}
-
-  VerifyResult run() {
-    VerifyResult res;
-    res.insn_count = prog_.size();
-    if (prog_.empty()) return fail(res, 0, "empty program");
-    if (prog_.size() > kMaxProgramLen) {
-      return fail(res, 0, "program too long");
-    }
-
-    // Structural prescan: every instruction's register fields must name real
-    // registers, even where the op ignores them — the VM indexes regs[] by
-    // both fields unconditionally, so a stray byte would read out of bounds.
-    for (size_t pc = 0; pc < prog_.size(); ++pc) {
-      if (prog_[pc].dst >= kNumRegs || prog_[pc].src >= kNumRegs) {
-        return fail(res, pc, "bad register field");
-      }
-    }
-
-    // Entry state: r1 = ctx, r10 = frame pointer.
-    AbsState entry;
-    entry.reachable = true;
-    entry.regs[1] = {Kind::PtrCtx, 0, -1};
-    entry.regs[kFramePointer] = {Kind::PtrStack, 0, -1};
-    states_[0] = entry;
-
-    for (size_t pc = 0; pc < prog_.size(); ++pc) {
-      if (!states_[pc].reachable) {
-        return fail(res, pc, "unreachable instruction");
-      }
-      std::string err = step(pc);
-      if (!err.empty()) return fail(res, pc, err);
-    }
+VerifyResult verify(const Program& prog, std::span<Map* const> maps,
+                    const analysis::AnalysisOptions& opts) {
+  VerifyResult res;
+  res.insn_count = prog.size();
+  analysis::AnalysisResult a = analysis::analyze(prog, maps, opts);
+  res.dead_insns = a.dead_insns;
+  res.dead_edges = a.dead_edges;
+  res.max_loop_trips = a.max_loop_trips;
+  if (a) {
     res.ok = true;
     return res;
   }
 
- private:
-  VerifyResult fail(VerifyResult& res, size_t pc, const std::string& msg) {
-    std::ostringstream os;
-    os << "pc " << pc;
-    if (pc < prog_.size()) os << " (" << disassemble(prog_[pc]) << ")";
-    os << ": " << msg;
-    res.ok = false;
-    res.error = os.str();
-    res.error_pc = pc;
-    return res;
+  res.ok = false;
+  res.error_pc = a.error_pc;
+  std::ostringstream os;
+  os << "pc " << a.error_pc;
+  if (a.error_pc < prog.size()) {
+    os << " (" << disassemble(prog[a.error_pc]) << ")";
   }
-
-  // Verify instruction at pc against states_[pc]; propagate out-states.
-  // Returns an error string, or empty on success.
-  std::string step(size_t pc) {
-    const Insn& in = prog_[pc];
-    Regs regs = states_[pc].regs;  // copy: we mutate into the out-state
-    Slots slots = states_[pc].slots;
-
-    auto reg_ok = [](Reg r) { return r < kNumRegs; };
-    auto initialized = [&](Reg r) { return regs[r].kind != Kind::Uninit; };
-    auto require_init = [&](Reg r) -> std::string {
-      if (!reg_ok(r)) return "bad register";
-      if (!initialized(r)) return "read of uninitialized r" + std::to_string(r);
-      return {};
-    };
-    auto writable = [&](Reg r) -> std::string {
-      if (!reg_ok(r)) return "bad register";
-      if (r == kFramePointer) return "write to frame pointer r10";
-      return {};
-    };
-
-    auto fallthrough = [&]() -> std::string {
-      if (pc + 1 >= prog_.size()) return "fall-through off program end";
-      meet_into(states_[pc + 1], regs, slots);
-      return {};
-    };
-    auto jump_to = [&](int32_t off, const Regs& edge_regs) -> std::string {
-      if (off < 0) return "backward jump (loops are not allowed)";
-      const size_t target = pc + 1 + static_cast<size_t>(off);
-      if (target >= prog_.size()) return "jump out of bounds";
-      meet_into(states_[target], edge_regs, slots);
-      return {};
-    };
-
-    switch (in.op) {
-      // ---- ALU reg ----
-      case Op::AddReg: case Op::SubReg: case Op::MulReg: case Op::DivReg:
-      case Op::ModReg: case Op::AndReg: case Op::OrReg: case Op::XorReg:
-      case Op::LshReg: case Op::RshReg: case Op::ArshReg:
-      case Op::Add32Reg: case Op::Sub32Reg: case Op::Mul32Reg:
-      case Op::Div32Reg: case Op::Mod32Reg: case Op::And32Reg:
-      case Op::Or32Reg: case Op::Xor32Reg: case Op::Lsh32Reg:
-      case Op::Rsh32Reg: case Op::Arsh32Reg: {
-        if (auto e = writable(in.dst); !e.empty()) return e;
-        if (auto e = require_init(in.src); !e.empty()) return e;
-        if (auto e = require_init(in.dst); !e.empty()) return e;
-        if (is_pointer(regs[in.dst].kind) || is_pointer(regs[in.src].kind) ||
-            regs[in.dst].kind == Kind::MapHandle ||
-            regs[in.src].kind == Kind::MapHandle) {
-          return "pointer arithmetic with register operand not allowed";
-        }
-        regs[in.dst] = {Kind::Scalar, 0, -1};
-        return fallthrough();
-      }
-      case Op::Mov32Reg: {
-        if (auto e = writable(in.dst); !e.empty()) return e;
-        if (auto e = require_init(in.src); !e.empty()) return e;
-        if (is_pointer(regs[in.src].kind) ||
-            regs[in.src].kind == Kind::MapHandle) {
-          return "32-bit move truncates a pointer";
-        }
-        regs[in.dst] = {Kind::Scalar, 0, -1};
-        return fallthrough();
-      }
-      // ---- ALU imm ----
-      case Op::AddImm: case Op::SubImm: {
-        if (auto e = writable(in.dst); !e.empty()) return e;
-        if (auto e = require_init(in.dst); !e.empty()) return e;
-        RegState& d = regs[in.dst];
-        if (d.kind == Kind::PtrStack || d.kind == Kind::PtrMapValue ||
-            d.kind == Kind::PtrCtx) {
-          d.delta += (in.op == Op::AddImm) ? in.imm : -in.imm;
-        } else if (d.kind == Kind::PtrMapValueOrNull ||
-                   d.kind == Kind::MapHandle) {
-          return "arithmetic on possibly-null pointer or map handle";
-        } else {
-          d = {Kind::Scalar, 0, -1};
-        }
-        return fallthrough();
-      }
-      case Op::MulImm: case Op::AndImm: case Op::OrImm: case Op::XorImm:
-      case Op::LshImm: case Op::RshImm: case Op::ArshImm: case Op::Mov32Imm:
-      case Op::Add32Imm: case Op::Sub32Imm: case Op::Mul32Imm:
-      case Op::And32Imm: case Op::Or32Imm: case Op::Xor32Imm:
-      case Op::Lsh32Imm: case Op::Rsh32Imm: case Op::Arsh32Imm: {
-        if (auto e = writable(in.dst); !e.empty()) return e;
-        if (in.op != Op::Mov32Imm) {
-          if (auto e = require_init(in.dst); !e.empty()) return e;
-          if (is_pointer(regs[in.dst].kind) ||
-              regs[in.dst].kind == Kind::MapHandle) {
-            return "ALU on pointer/map handle not allowed";
-          }
-        }
-        regs[in.dst] = {Kind::Scalar, 0, -1};
-        return fallthrough();
-      }
-      case Op::DivImm: case Op::ModImm:
-      case Op::Div32Imm: case Op::Mod32Imm: {
-        if (auto e = writable(in.dst); !e.empty()) return e;
-        if (auto e = require_init(in.dst); !e.empty()) return e;
-        if (in.imm == 0) return "division by zero immediate";
-        if (is_pointer(regs[in.dst].kind)) return "ALU on pointer";
-        regs[in.dst] = {Kind::Scalar, 0, -1};
-        return fallthrough();
-      }
-      case Op::Neg: case Op::Neg32: {
-        if (auto e = writable(in.dst); !e.empty()) return e;
-        if (auto e = require_init(in.dst); !e.empty()) return e;
-        if (is_pointer(regs[in.dst].kind)) return "ALU on pointer";
-        regs[in.dst] = {Kind::Scalar, 0, -1};
-        return fallthrough();
-      }
-      case Op::MovReg: {
-        if (auto e = writable(in.dst); !e.empty()) return e;
-        if (auto e = require_init(in.src); !e.empty()) return e;
-        regs[in.dst] = regs[in.src];
-        return fallthrough();
-      }
-      case Op::MovImm: case Op::LdImm64: {
-        if (auto e = writable(in.dst); !e.empty()) return e;
-        regs[in.dst] = {Kind::Scalar, 0, -1};
-        return fallthrough();
-      }
-      case Op::LdMapFd: {
-        if (auto e = writable(in.dst); !e.empty()) return e;
-        if (in.imm < 0 || static_cast<size_t>(in.imm) >= maps_.size() ||
-            maps_[static_cast<size_t>(in.imm)] == nullptr) {
-          return "LdMapFd references unknown map slot";
-        }
-        regs[in.dst] = {Kind::MapHandle, 0, static_cast<int32_t>(in.imm)};
-        return fallthrough();
-      }
-
-      // ---- loads ----
-      case Op::LdxB: case Op::LdxH: case Op::LdxW: case Op::LdxDW: {
-        if (auto e = writable(in.dst); !e.empty()) return e;
-        if (auto e = require_init(in.src); !e.empty()) return e;
-        if (auto e = check_mem(regs[in.src], in.off, access_size(in.op),
-                               /*is_write=*/false);
-            !e.empty()) {
-          return e;
-        }
-        RegState loaded{Kind::Scalar, 0, -1};
-        if (in.op == Op::LdxDW && regs[in.src].kind == Kind::PtrStack) {
-          // Restore a spilled register (fills with the spilled type; plain
-          // data slots read back as scalars — the VM zeroes the stack).
-          const int slot =
-              aligned_slot(regs[in.src].delta + in.off, /*size=*/8);
-          if (slot >= 0 && slots[static_cast<size_t>(slot)].kind !=
-                               Kind::Uninit) {
-            loaded = slots[static_cast<size_t>(slot)];
-          }
-        }
-        regs[in.dst] = loaded;
-        return fallthrough();
-      }
-      // ---- stores ----
-      case Op::StxB: case Op::StxH: case Op::StxW: case Op::StxDW: {
-        if (auto e = require_init(in.dst); !e.empty()) return e;
-        if (auto e = require_init(in.src); !e.empty()) return e;
-        const bool to_stack = regs[in.dst].kind == Kind::PtrStack;
-        if (regs[in.src].kind != Kind::Scalar) {
-          // Spilling non-scalars is legal only as an aligned 64-bit store
-          // to the stack (the kernel's spill/fill rule).
-          if (!(in.op == Op::StxDW && to_stack &&
-                aligned_slot(regs[in.dst].delta + in.off, 8) >= 0)) {
-            return "pointer may only be spilled with an aligned 64-bit "
-                   "stack store";
-          }
-        }
-        if (auto e = check_mem(regs[in.dst], in.off, access_size(in.op),
-                               /*is_write=*/true);
-            !e.empty()) {
-          return e;
-        }
-        if (to_stack) {
-          const int64_t lo = regs[in.dst].delta + in.off;
-          const int size = access_size(in.op);
-          const int slot = aligned_slot(lo, size);
-          if (in.op == Op::StxDW && slot >= 0) {
-            slots[static_cast<size_t>(slot)] = regs[in.src];  // spill/track
-          } else {
-            clobber_slots(slots, lo, size);
-          }
-        }
-        return fallthrough();
-      }
-      case Op::StB: case Op::StH: case Op::StW: case Op::StDW: {
-        if (auto e = require_init(in.dst); !e.empty()) return e;
-        if (auto e = check_mem(regs[in.dst], in.off, access_size(in.op),
-                               /*is_write=*/true);
-            !e.empty()) {
-          return e;
-        }
-        if (regs[in.dst].kind == Kind::PtrStack) {
-          clobber_slots(slots, regs[in.dst].delta + in.off,
-                        access_size(in.op));
-        }
-        return fallthrough();
-      }
-
-      // ---- control flow ----
-      case Op::Ja:
-        return jump_to(in.off, regs);
-
-      case Op::JeqImm: case Op::JneImm: {
-        if (auto e = require_init(in.dst); !e.empty()) return e;
-        const RegState& d = regs[in.dst];
-        if (d.kind == Kind::PtrMapValueOrNull && in.imm == 0) {
-          // Null-check refinement, as in the kernel verifier.
-          Regs taken = regs, fall = regs;
-          const bool eq_means_null = (in.op == Op::JeqImm);
-          const RegState nonnull{Kind::PtrMapValue, d.delta, d.map_slot};
-          const RegState null_scalar{Kind::Scalar, 0, -1};
-          taken[in.dst] = eq_means_null ? null_scalar : nonnull;
-          fall[in.dst] = eq_means_null ? nonnull : null_scalar;
-          if (auto e = jump_to(in.off, taken); !e.empty()) return e;
-          if (pc + 1 >= prog_.size()) return "fall-through off program end";
-          meet_into(states_[pc + 1], fall, slots);
-          return {};
-        }
-        if (is_pointer(d.kind) || d.kind == Kind::MapHandle) {
-          return "comparison of pointer with non-null immediate";
-        }
-        if (auto e = jump_to(in.off, regs); !e.empty()) return e;
-        return fallthrough();
-      }
-      case Op::JgtImm: case Op::JgeImm: case Op::JltImm: case Op::JleImm:
-      case Op::JsgtImm: case Op::JsgeImm: case Op::JsltImm: case Op::JsleImm:
-      case Op::JsetImm: {
-        if (auto e = require_init(in.dst); !e.empty()) return e;
-        if (regs[in.dst].kind != Kind::Scalar) {
-          return "conditional jump on non-scalar";
-        }
-        if (auto e = jump_to(in.off, regs); !e.empty()) return e;
-        return fallthrough();
-      }
-      case Op::JeqReg: case Op::JneReg: case Op::JgtReg: case Op::JgeReg:
-      case Op::JltReg: case Op::JleReg: case Op::JsgtReg: case Op::JsgeReg:
-      case Op::JsltReg: case Op::JsleReg: case Op::JsetReg: {
-        if (auto e = require_init(in.dst); !e.empty()) return e;
-        if (auto e = require_init(in.src); !e.empty()) return e;
-        if (regs[in.dst].kind != Kind::Scalar ||
-            regs[in.src].kind != Kind::Scalar) {
-          return "conditional jump on non-scalar";
-        }
-        if (auto e = jump_to(in.off, regs); !e.empty()) return e;
-        return fallthrough();
-      }
-
-      case Op::Call: {
-        const HelperSig* sig = find_sig(in.imm);
-        if (sig == nullptr) return "unknown helper";
-        for (int a = 0; a < sig->num_args; ++a) {
-          const Reg r = static_cast<Reg>(a + 1);
-          if (auto e = require_init(r); !e.empty()) return e;
-          const Kind want = sig->arg[a];
-          const Kind have = regs[r].kind;
-          if (want == Kind::PtrStack) {
-            if (have != Kind::PtrStack) {
-              return "helper arg r" + std::to_string(r) +
-                     " must be a stack pointer";
-            }
-            // Key/value buffers: require at least a u32 key's worth of
-            // stack behind the pointer (the VM re-checks exact sizes).
-            if (auto e = check_stack(regs[r], 0, 4); !e.empty()) return e;
-          } else if (want == Kind::MapHandle) {
-            if (have != Kind::MapHandle) {
-              return "helper arg r" + std::to_string(r) + " must be a map";
-            }
-            Map* m = maps_[static_cast<size_t>(regs[r].map_slot)];
-            if (sig->map_arg_type && m->type() != *sig->map_arg_type) {
-              return "helper map argument has wrong map type";
-            }
-          } else if (want != have) {
-            return "helper arg r" + std::to_string(r) + " has wrong type";
-          }
-        }
-        // Result + clobbers.
-        int32_t result_slot = -1;
-        if (sig->ret == Kind::PtrMapValueOrNull) {
-          result_slot = regs[1].map_slot;  // lookup result points into r1 map
-        }
-        for (Reg r = 1; r <= 5; ++r) regs[r] = RegState{};
-        regs[0] = {sig->ret, 0, result_slot};
-        return fallthrough();
-      }
-
-      case Op::Exit: {
-        if (auto e = require_init(0); !e.empty()) return e;
-        if (regs[0].kind != Kind::Scalar) return "exit with non-scalar r0";
-        return {};  // no successors
-      }
-    }
-    return "unhandled opcode";
+  os << ": " << a.error;
+  if (std::string w = disasm_window(prog, a.error_pc); !w.empty()) {
+    os << "\n" << w;
   }
-
-  std::string check_mem(const RegState& base, int32_t off, int size,
-                        bool is_write) {
-    switch (base.kind) {
-      case Kind::PtrStack:
-        return check_stack(base, off, size);
-      case Kind::PtrCtx: {
-        if (is_write) return "context is read-only";
-        const int64_t lo = base.delta + off;
-        if (lo < 0 || lo + size > static_cast<int64_t>(kCtxReadableBytes)) {
-          return "context access out of bounds";
-        }
-        return {};
-      }
-      case Kind::PtrMapValue: {
-        const Map* m = maps_[static_cast<size_t>(base.map_slot)];
-        const int64_t lo = base.delta + off;
-        if (lo < 0 || lo + size > static_cast<int64_t>(m->value_size())) {
-          return "map value access out of bounds";
-        }
-        return {};
-      }
-      case Kind::PtrMapValueOrNull:
-        return "dereference of possibly-null map value (missing null check)";
-      default:
-        return "memory access via non-pointer";
-    }
+  if (!a.error_state.empty()) {
+    os << "abstract state at pc " << a.error_pc << ":\n" << a.error_state;
   }
-
-  std::string check_stack(const RegState& base, int32_t off, int size) {
-    const int64_t lo = base.delta + off;  // relative to r10
-    if (lo < -static_cast<int64_t>(kStackSize) || lo + size > 0) {
-      return "stack access out of bounds";
-    }
-    return {};
-  }
-
-  const Program& prog_;
-  std::span<Map* const> maps_;
-  std::vector<AbsState> states_;
-};
-
-}  // namespace
-
-VerifyResult verify(const Program& prog, std::span<Map* const> maps) {
-  VerifierImpl impl(prog, maps);
-  return impl.run();
+  res.error = os.str();
+  return res;
 }
 
 }  // namespace hermes::bpf

@@ -103,6 +103,15 @@ bpf::Program build_dispatch_program(const DispatchProgramParams& p) {
   a.sub(r3, 1);
   emit_popcount(a, /*dst=*/r2, /*src=*/r3, /*scratch=*/r4);
 
+  // Hardening guard: a corrupt bitmap with bits set at or above
+  // workers_per_group would otherwise index into another group's socket
+  // range (previously it fell back only via sk_select ENOENT). Bailing
+  // out here keeps the selected index provably below num_groups *
+  // workers_per_group — bpf/analysis/prove.cc machine-checks exactly
+  // this bound, which interval reasoning alone cannot recover from the
+  // popcount's multiply-overflow.
+  a.jge(r2, static_cast<int64_t>(p.workers_per_group), "fallback");
+
   // ---- global worker id -> socket --------------------------------------
   a.mul(r7, static_cast<int64_t>(p.workers_per_group));
   a.add(r7, r2);
@@ -136,6 +145,9 @@ WorkerId reference_dispatch(const DispatchProgramParams& p,
   if (n < p.min_workers) return kInvalidWorker;
   const uint32_t nth = reciprocal_scale_u32(hash, n) + 1;
   const uint32_t pos = find_nth_nonzero_bit(bitmap, nth);
+  // Mirror of the program's hardening guard: out-of-group bitmap bits
+  // mean fallback, never an index into another group's socket range.
+  if (pos >= p.workers_per_group) return kInvalidWorker;
   return group * p.workers_per_group + pos;
 }
 

@@ -171,12 +171,82 @@ void emit_helper_atom(Assembler& a, Rng& rng) {
   a.mov(pick_usable(rng), r0);
 }
 
+// Variable-offset memory access whose bound the range analysis must
+// prove: a masked or branch-guarded index into the stack or a map value.
+// These were categorically rejected by the pre-analysis verifier.
+void emit_range_access_atom(Assembler& a, Rng& rng, int& label_n) {
+  const R d = pick_usable(rng);
+  const R idx = pick_usable(rng);
+  switch (rng.next_below(3)) {
+    case 0: {  // mask-bounded stack byte access
+      const int64_t mask = (int64_t{1} << (1 + rng.next_below(4))) - 1;
+      a.mov(r4, idx);
+      a.and_(r4, mask);
+      a.mov(r5, r10);
+      a.add(r5, -1 - mask);
+      a.add(r5, r4);
+      if (rng.bernoulli(0.5)) {
+        a.ldx_b(d, r5, 0);
+      } else {
+        a.stx_b(r5, 0, idx);
+      }
+      break;
+    }
+    case 1: {  // branch-guard-bounded stack access
+      const std::string skip = "r" + std::to_string(label_n++);
+      a.mov(r4, idx);
+      a.jgt(r4, 15, skip);
+      a.mov(r5, r10);
+      a.add(r5, -16);
+      a.add(r5, r4);
+      a.ldx_b(d, r5, 0);
+      a.label(skip);
+      break;
+    }
+    default: {  // mask-bounded access into a null-checked map value
+      const std::string skip = "r" + std::to_string(label_n++);
+      a.st_w(r10, -4, 0);
+      a.ld_map_fd(r1, 0);
+      a.mov(r2, r10);
+      a.add(r2, -4);
+      a.call(HelperId::MapLookupElem);
+      a.jeq(r0, 0, skip);
+      a.mov(r4, idx);
+      a.and_(r4, 7);  // value_size is 8
+      a.add(r0, r4);
+      a.ldx_b(d, r0, 0);
+      a.label(skip);
+      break;
+    }
+  }
+}
+
+// Counted loop with a provable trip bound: r5 counts up to a small
+// constant, the body does scalar work on the usable registers. The
+// verifier accepts it via per-iteration loop analysis.
+void emit_loop_atom(Assembler& a, Rng& rng, int& label_n) {
+  const std::string top = "l" + std::to_string(label_n++);
+  const auto trips = static_cast<int64_t>(1 + rng.next_below(8));
+  const R d = pick_usable(rng);
+  const R s = pick_usable(rng);
+  a.mov(r5, 0);
+  a.label(top);
+  switch (rng.next_below(4)) {
+    case 0: a.add(d, s); break;
+    case 1: a.xor_(d, s); break;
+    case 2: a.add32(d, static_cast<int32_t>(rand_imm(rng))); break;
+    default: a.add(d, r5); break;
+  }
+  a.add(r5, 1);
+  a.jlt(r5, trips, top);
+}
+
 // Deliberately dubious instructions: most are rejected by the verifier
 // (that's the point), but any that slip through are differential-safe —
 // no pointer is ever copied toward memory or arithmetic.
-void emit_wild_atom(Assembler& a, Rng& rng) {
+void emit_wild_atom(Assembler& a, Rng& rng, int& label_n) {
   const R d = pick_usable(rng);
-  switch (rng.next_below(6)) {
+  switch (rng.next_below(9)) {
     case 0: a.div(d, 0); break;                       // rejected: div by 0
     case 1: a.mod32(d, 0); break;                     // rejected: mod by 0
     case 2:  // context load, offset may exceed the readable prefix
@@ -187,6 +257,27 @@ void emit_wild_atom(Assembler& a, Rng& rng) {
       break;
     case 4: a.add(r3, r3); break;                     // rejected: r3 uninit
     case 5: a.mov32(d, r6); break;                    // rejected: truncates ptr
+    case 6: {  // unmasked variable stack offset: usually unprovable
+      a.mov(r5, r10);
+      a.add(r5, d);
+      a.ldx_b(pick_usable(rng), r5, 0);
+      break;
+    }
+    case 7: {  // no-progress loop: rejected at the abstract fixpoint
+      const std::string top = "w" + std::to_string(label_n++);
+      a.label(top);
+      a.add(d, 1);
+      a.ja(top);
+      break;
+    }
+    default: {  // terminating loop, but past the analysis trip bound
+      const std::string top = "w" + std::to_string(label_n++);
+      a.mov(r5, 0);
+      a.label(top);
+      a.add(r5, 1);
+      a.jlt(r5, 100000, top);
+      break;
+    }
   }
 }
 
@@ -205,27 +296,40 @@ void emit_cond_jump(Assembler& a, Rng& rng, const std::string& label) {
   }
 }
 
-void emit_atom(Assembler& a, Rng& rng, const GenOptions& opt, int& label_n) {
+void emit_atom(Assembler& a, Rng& rng, const GenOptions& opt, int& label_n,
+               GenStats& stats) {
   if (rng.bernoulli(opt.wild_prob)) {
-    emit_wild_atom(a, rng);
+    emit_wild_atom(a, rng, label_n);
     return;
   }
-  switch (rng.next_below(8)) {
+  switch (rng.next_below(10)) {
     case 0: case 1: emit_alu_atom(a, rng); break;
     case 2: emit_stack_atom(a, rng); break;
     case 3: emit_ctx_load_atom(a, rng); break;
     case 4: emit_lookup_atom(a, rng, opt, label_n); break;
     case 5: emit_update_atom(a, rng, opt); break;
     case 6: emit_sk_select_atom(a, rng, opt); break;
+    case 7:
+      emit_range_access_atom(a, rng, label_n);
+      stats.has_range_access = true;
+      break;
+    case 8:
+      emit_loop_atom(a, rng, label_n);
+      stats.has_loop = true;
+      break;
     default: emit_helper_atom(a, rng); break;
   }
 }
 
 }  // namespace
 
-bpf::Program gen_program(sim::Rng& rng, const GenOptions& opt) {
+bpf::Program gen_program(sim::Rng& rng, const GenOptions& opt,
+                         GenStats* stats) {
   Assembler a;
   int label_n = 0;
+  GenStats local;
+  GenStats& st = stats != nullptr ? *stats : local;
+  st = GenStats{};
 
   // Prologue: save ctx, initialize every working register to a scalar.
   a.mov(r6, r1);
@@ -250,7 +354,7 @@ bpf::Program gen_program(sim::Rng& rng, const GenOptions& opt) {
       guard = "j" + std::to_string(label_n++);
       emit_cond_jump(a, rng, guard);
     }
-    emit_atom(a, rng, opt, label_n);
+    emit_atom(a, rng, opt, label_n, st);
     if (!guard.empty()) a.label(guard);
   }
 

@@ -2,10 +2,13 @@
 //
 // Programs are built through bpf::Assembler out of small "atoms" — ALU
 // bursts, stack traffic, context loads, whole helper-call gadgets
-// (lookup + null-check, map update, sk_select_reuseport), optional
-// forward conditional jumps over atoms, and a sprinkling of deliberately
-// dubious "wild" instructions that exercise the verifier's rejection
-// paths (uninitialized reads, out-of-bounds offsets, zero divisors).
+// (lookup + null-check, map update, sk_select_reuseport), counted loops
+// with provable trip bounds, variable-offset accesses the range analysis
+// must prove (masked or branch-guarded indices), optional forward
+// conditional jumps over atoms, and a sprinkling of deliberately dubious
+// "wild" instructions that exercise the verifier's rejection paths
+// (uninitialized reads, out-of-bounds offsets, zero divisors, unbounded
+// variable offsets, unprovable loops).
 //
 // The generator is typestate-aware — it keeps scalar work in r7-r9, the
 // saved context pointer in r6, and gadget scratch in r0-r5 — so the large
@@ -39,7 +42,16 @@ struct GenOptions {
   uint32_t sock_entries = 8;
 };
 
-bpf::Program gen_program(sim::Rng& rng, const GenOptions& opt = {});
+// What the generator actually emitted, so the torture harness can assert
+// that interesting program classes (bounded loops, range-proven
+// variable-offset accesses) both occur and pass verification.
+struct GenStats {
+  bool has_loop = false;          // a counted backward-edge loop atom
+  bool has_range_access = false;  // a masked/guarded variable-offset access
+};
+
+bpf::Program gen_program(sim::Rng& rng, const GenOptions& opt = {},
+                         GenStats* stats = nullptr);
 
 // Random reuseport context (hashes, lengths, protocols).
 bpf::ReuseportCtx gen_ctx(sim::Rng& rng);

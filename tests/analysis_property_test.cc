@@ -1,0 +1,245 @@
+// Property tests for the abstract domains behind the verifier: for random
+// abstractions (constants, intervals, tnum masks, signed ranges) and
+// random members of their concretizations, every ALU transfer function,
+// branch refinement, join/widen, and cast must keep the concrete result
+// inside the abstract one. The concrete semantics here mirror bpf/vm.cc
+// exactly (shift masking, div-by-zero-is-zero, mod-by-zero-is-identity,
+// 32-bit truncation), so a failure means the verifier could accept a
+// program whose runtime behavior escapes its proof.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "bpf/analysis/value_range.h"
+#include "simcore/rng.h"
+
+namespace hermes::bpf::analysis {
+namespace {
+
+using sim::Rng;
+
+// ---- concrete semantics (mirror of vm.cc ALU execution) -------------
+
+uint64_t concrete_alu(Op op, uint64_t a, uint64_t b) {
+  const auto a32 = static_cast<uint32_t>(a);
+  const auto b32 = static_cast<uint32_t>(b);
+  switch (op) {
+    case Op::AddReg: return a + b;
+    case Op::SubReg: return a - b;
+    case Op::MulReg: return a * b;
+    case Op::DivReg: return b ? a / b : 0;
+    case Op::ModReg: return b ? a % b : a;
+    case Op::AndReg: return a & b;
+    case Op::OrReg: return a | b;
+    case Op::XorReg: return a ^ b;
+    case Op::LshReg: return a << (b & 63);
+    case Op::RshReg: return a >> (b & 63);
+    case Op::ArshReg:
+      return static_cast<uint64_t>(static_cast<int64_t>(a) >> (b & 63));
+    case Op::Neg: return 0 - a;
+    case Op::Add32Reg: return static_cast<uint32_t>(a + b);
+    case Op::Sub32Reg: return static_cast<uint32_t>(a - b);
+    case Op::Mul32Reg: return static_cast<uint32_t>(a * b);
+    case Op::Div32Reg: return b32 ? a32 / b32 : 0;
+    case Op::Mod32Reg: return b32 ? a32 % b32 : a32;
+    case Op::And32Reg: return static_cast<uint32_t>(a & b);
+    case Op::Or32Reg: return static_cast<uint32_t>(a | b);
+    case Op::Xor32Reg: return static_cast<uint32_t>(a ^ b);
+    case Op::Lsh32Reg: return static_cast<uint32_t>(a32 << (b & 31));
+    case Op::Rsh32Reg: return a32 >> (b & 31);
+    case Op::Arsh32Reg:
+      return static_cast<uint32_t>(static_cast<int32_t>(a32) >> (b & 31));
+    case Op::Neg32: return static_cast<uint32_t>(0 - a32);
+    default: ADD_FAILURE() << "op not in test set"; return 0;
+  }
+}
+
+bool concrete_jump(Op op, uint64_t a, uint64_t b) {
+  const auto sa = static_cast<int64_t>(a);
+  const auto sb = static_cast<int64_t>(b);
+  switch (op) {
+    case Op::JeqReg: return a == b;
+    case Op::JneReg: return a != b;
+    case Op::JgtReg: return a > b;
+    case Op::JgeReg: return a >= b;
+    case Op::JltReg: return a < b;
+    case Op::JleReg: return a <= b;
+    case Op::JsgtReg: return sa > sb;
+    case Op::JsgeReg: return sa >= sb;
+    case Op::JsltReg: return sa < sb;
+    case Op::JsleReg: return sa <= sb;
+    case Op::JsetReg: return (a & b) != 0;
+    default: ADD_FAILURE() << "op not in test set"; return false;
+  }
+}
+
+// ---- random abstractions --------------------------------------------
+
+struct Abs {
+  ValueRange r;
+  uint64_t x;  // a concrete member of gamma(r)
+};
+
+uint64_t interesting_u64(Rng& rng) {
+  switch (rng.next_below(6)) {
+    case 0: return rng.next_below(16);
+    case 1: return ~0ull - rng.next_below(16);
+    case 2: return (uint64_t{1} << rng.next_below(64)) - rng.next_below(2);
+    case 3: return static_cast<uint64_t>(
+        -static_cast<int64_t>(rng.next_below(1 << 20)));
+    case 4: return rng.next_u64() & 0xffffffffull;
+    default: return rng.next_u64();
+  }
+}
+
+Abs random_abs(Rng& rng) {
+  Abs out;
+  switch (rng.next_below(4)) {
+    case 0: {  // constant
+      out.x = interesting_u64(rng);
+      out.r = ValueRange::konst(out.x);
+      return out;
+    }
+    case 1: {  // unsigned interval
+      uint64_t lo = interesting_u64(rng);
+      uint64_t hi = interesting_u64(rng);
+      if (lo > hi) std::swap(lo, hi);
+      out.r = ValueRange::bounded(lo, hi);
+      const uint64_t width = hi - lo;
+      out.x = width == ~0ull ? rng.next_u64()
+                             : lo + rng.next_below(width + 1);
+      return out;
+    }
+    case 2: {  // tnum: random known bits
+      const uint64_t mask = rng.next_u64() & rng.next_u64();
+      const uint64_t value = interesting_u64(rng) & ~mask;
+      ValueRange r = ValueRange::unknown();
+      r.tn = Tnum{value, mask};
+      EXPECT_TRUE(r.sync());
+      out.r = r;
+      out.x = value | (rng.next_u64() & mask);
+      return out;
+    }
+    default: {  // signed interval
+      auto lo = static_cast<int64_t>(interesting_u64(rng));
+      auto hi = static_cast<int64_t>(interesting_u64(rng));
+      if (lo > hi) std::swap(lo, hi);
+      ValueRange r = ValueRange::unknown();
+      r.smin = lo;
+      r.smax = hi;
+      EXPECT_TRUE(r.sync());
+      out.r = r;
+      const auto width = static_cast<uint64_t>(hi) - static_cast<uint64_t>(lo);
+      out.x = static_cast<uint64_t>(lo) +
+              (width == ~0ull ? rng.next_u64() : rng.next_below(width + 1));
+      return out;
+    }
+  }
+}
+
+const Op kAluOps[] = {
+    Op::AddReg,  Op::SubReg,  Op::MulReg,  Op::DivReg,   Op::ModReg,
+    Op::AndReg,  Op::OrReg,   Op::XorReg,  Op::LshReg,   Op::RshReg,
+    Op::ArshReg, Op::Neg,     Op::Add32Reg, Op::Sub32Reg, Op::Mul32Reg,
+    Op::Div32Reg, Op::Mod32Reg, Op::And32Reg, Op::Or32Reg, Op::Xor32Reg,
+    Op::Lsh32Reg, Op::Rsh32Reg, Op::Arsh32Reg, Op::Neg32,
+};
+
+const Op kJumpOps[] = {
+    Op::JeqReg,  Op::JneReg,  Op::JgtReg,  Op::JgeReg,  Op::JltReg,
+    Op::JleReg,  Op::JsgtReg, Op::JsgeReg, Op::JsltReg, Op::JsleReg,
+    Op::JsetReg,
+};
+
+class AnalysisPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(AnalysisPropertyTest, SamplesAreInTheirAbstraction) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 2000; ++i) {
+    const Abs a = random_abs(rng);
+    ASSERT_TRUE(a.r.contains(a.x)) << to_string(a.r) << " vs " << a.x;
+  }
+}
+
+TEST_P(AnalysisPropertyTest, AluTransferFunctionsAreSound) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 4000; ++i) {
+    const Op op = kAluOps[rng.next_below(std::size(kAluOps))];
+    const Abs a = random_abs(rng);
+    const Abs b = random_abs(rng);
+    const ValueRange out = ValueRange::alu(op, a.r, b.r);
+    const uint64_t concrete = concrete_alu(op, a.x, b.x);
+    ASSERT_TRUE(out.contains(concrete))
+        << disassemble({op, 1, 2, 0, 0}) << "\n  a = " << to_string(a.r)
+        << " (x=" << a.x << ")\n  b = " << to_string(b.r) << " (y=" << b.x
+        << ")\n  out = " << to_string(out) << "\n  concrete = " << concrete;
+  }
+}
+
+TEST_P(AnalysisPropertyTest, BranchRefinementKeepsTheTakenEdgeFeasible) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 4000; ++i) {
+    const Op op = kJumpOps[rng.next_below(std::size(kJumpOps))];
+    const Abs a = random_abs(rng);
+    const Abs b = random_abs(rng);
+    const bool taken = concrete_jump(op, a.x, b.x);
+    ValueRange d = a.r;
+    ValueRange s = b.r;
+    // The edge the concrete execution takes must stay feasible and must
+    // still contain the concrete operand values after refinement.
+    ASSERT_TRUE(ValueRange::refine_branch(op, taken, d, s))
+        << disassemble({op, 1, 2, 0, 0}) << " taken=" << taken
+        << "\n  a = " << to_string(a.r) << " (x=" << a.x << ")\n  b = "
+        << to_string(b.r) << " (y=" << b.x << ")";
+    ASSERT_TRUE(d.contains(a.x))
+        << disassemble({op, 1, 2, 0, 0}) << " taken=" << taken
+        << "\n  refined d = " << to_string(d) << " lost x=" << a.x;
+    ASSERT_TRUE(s.contains(b.x))
+        << disassemble({op, 1, 2, 0, 0}) << " taken=" << taken
+        << "\n  refined s = " << to_string(s) << " lost y=" << b.x;
+  }
+}
+
+TEST_P(AnalysisPropertyTest, JoinWidenSubsumeAndCastAreSound) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 4000; ++i) {
+    const Abs a = random_abs(rng);
+    const Abs b = random_abs(rng);
+    const ValueRange j = ValueRange::join(a.r, b.r);
+    ASSERT_TRUE(j.contains(a.x) && j.contains(b.x))
+        << "join " << to_string(j) << " of " << to_string(a.r) << " and "
+        << to_string(b.r);
+    ASSERT_TRUE(ValueRange::subsumes(a.r, j) && ValueRange::subsumes(b.r, j))
+        << "join not an upper bound";
+    const ValueRange w = ValueRange::widen(a.r, b.r);
+    ASSERT_TRUE(w.contains(a.x) && w.contains(b.x))
+        << "widen " << to_string(w);
+    ASSERT_TRUE(ValueRange::subsumes(j, w)) << "widen below join";
+    const ValueRange c = a.r.cast32();
+    ASSERT_TRUE(c.contains(static_cast<uint32_t>(a.x)))
+        << "cast32 " << to_string(c) << " lost " << a.x;
+  }
+}
+
+TEST_P(AnalysisPropertyTest, TnumIntersectIsExactOnMembership) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 4000; ++i) {
+    const Abs a = random_abs(rng);
+    const Abs b = random_abs(rng);
+    Tnum out;
+    if (a.r.tn.contains(b.x) && Tnum::intersect(a.r.tn, b.r.tn, &out)) {
+      ASSERT_TRUE(out.contains(b.x));
+    }
+    // A shared member forces a non-empty intersection.
+    if (a.r.tn.contains(a.x) && b.r.tn.contains(a.x)) {
+      ASSERT_TRUE(Tnum::intersect(a.r.tn, b.r.tn, &out));
+      ASSERT_TRUE(out.contains(a.x));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AnalysisPropertyTest,
+                         ::testing::Range<uint64_t>(0, 8));
+
+}  // namespace
+}  // namespace hermes::bpf::analysis

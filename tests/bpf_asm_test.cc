@@ -1,4 +1,4 @@
-// Assembler: label fixup, forward-only enforcement, disassembly.
+// Assembler: label fixup (forward and backward edges), disassembly.
 #include <gtest/gtest.h>
 
 #include "bpf/assembler.h"
@@ -61,15 +61,35 @@ TEST(AssemblerDeathTest, UnresolvedLabelAborts) {
   EXPECT_DEATH(a.finish(), "unresolved label");
 }
 
-TEST(AssemblerDeathTest, BackwardLabelAborts) {
+TEST(AssemblerTest, BackwardLabelResolvesImmediately) {
+  Assembler a;
+  a.mov(r7, 0);           // idx 0
+  a.label("top");
+  a.add(r7, 1);           // idx 1
+  a.jlt(r7, 8, "top");    // idx 2, back to 1: off = 1 - 2 - 1 = -2
+  a.exit();
+  Program p = a.finish();
+  EXPECT_EQ(p[2].off, -2);
+}
+
+TEST(AssemblerTest, LabelUsedForwardAndBackward) {
+  Assembler a;
+  a.jeq(r1, 0, "mid");    // idx 0, forward to 2
+  a.mov(r0, 1);           // idx 1
+  a.label("mid");
+  a.mov(r0, 2);           // idx 2
+  a.jne(r0, 0, "mid");    // idx 3, backward to 2: off = 2 - 3 - 1 = -2
+  a.exit();
+  Program p = a.finish();
+  EXPECT_EQ(p[0].off, 1);
+  EXPECT_EQ(p[3].off, -2);
+}
+
+TEST(AssemblerDeathTest, DuplicateLabelBindAborts) {
   Assembler a;
   a.label("top");
   a.mov(r0, 0);
-  // Jump back to "top": label() binds eagerly only for already-pending
-  // sites, so this jump stays pending and finish() aborts.
-  a.ja("top");
-  a.exit();
-  EXPECT_DEATH(a.finish(), "unresolved label");
+  EXPECT_DEATH(a.label("top"), "bound twice");
 }
 
 TEST(DisassemblerTest, ReadableOutput) {

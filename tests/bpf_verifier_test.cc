@@ -53,15 +53,58 @@ TEST_F(VerifierTest, FallThroughOffEndRejected) {
 }
 
 TEST_F(VerifierTest, BackwardJumpRejected) {
-  // Hand-build: insn 1 jumps back to insn 0 — a loop.
+  // An infinite loop: r0 stays 0, so the backward edge never becomes
+  // infeasible and the loop can't be proven to terminate.
   Program p = {
       {Op::MovImm, 0, 0, 0, 0},
-      {Op::Ja, 0, 0, -2, 0},
+      {Op::JeqImm, 0, 0, -2, 0},  // while (r0 == 0) goto top
       {Op::Exit},
   };
   const auto res = verify_prog(std::move(p));
   EXPECT_FALSE(res);
   EXPECT_NE(res.error.find("backward"), std::string::npos);
+}
+
+TEST_F(VerifierTest, BoundedLoopAccepted) {
+  Assembler a;
+  a.mov(r7, 0);
+  a.mov(r0, 0);
+  a.label("top");
+  a.add(r0, 2);
+  a.add(r7, 1);
+  a.jlt(r7, 8, "top");  // backward edge with a provable 8-trip bound
+  a.exit();
+  const auto res = verify_prog(a.finish());
+  EXPECT_TRUE(res) << res.error;
+  EXPECT_EQ(res.max_loop_trips, 8u);
+}
+
+TEST_F(VerifierTest, LoopExceedingTripBoundRejected) {
+  Assembler a;
+  a.mov(r7, 0);
+  a.label("top");
+  a.add(r7, 1);
+  a.jlt(r7, 1000, "top");  // terminates, but past the analysis trip bound
+  a.mov(r0, 0);
+  a.exit();
+  const auto res = verify_prog(a.finish());
+  EXPECT_FALSE(res);
+  EXPECT_NE(res.error.find("trip bound"), std::string::npos);
+}
+
+TEST_F(VerifierTest, JumpIntoLoopBodyRejected) {
+  Program p = {
+      {Op::MovImm, 7, 0, 0, 0},   // 0:
+      {Op::Ja, 0, 0, 2, 0},       // 1: goto 4 — enters the loop mid-body
+      {Op::AddImm, 7, 0, 0, 1},   // 2: loop header
+      {Op::AddImm, 7, 0, 0, 1},   // 3:
+      {Op::JltImm, 7, 0, -3, 8},  // 4: if (r7 < 8) goto 2
+      {Op::MovImm, 0, 0, 0, 0},   // 5:
+      {Op::Exit},                 // 6:
+  };
+  const auto res = verify_prog(std::move(p));
+  EXPECT_FALSE(res);
+  EXPECT_NE(res.error.find("loop"), std::string::npos);
 }
 
 TEST_F(VerifierTest, JumpOutOfBoundsRejected) {
@@ -308,13 +351,128 @@ TEST_F(VerifierTest, CalleeSavedRegsSurviveCall) {
 }
 
 TEST_F(VerifierTest, PointerArithmeticWithRegisterRejected) {
+  // Variable pointer offsets are legal now, but only when the range
+  // analysis can bound them: an unknown offset still can't be accessed.
   Assembler a;
-  a.mov(r2, 8);
+  a.call(HelperId::KtimeGetNs);  // r0: unbounded scalar
   a.mov(r3, r10);
-  a.add(r3, r2);  // variable pointer offset: rejected (strict model)
+  a.add(r3, r0);
+  a.ldx_w(r2, r3, -8);
   a.mov(r0, 0);
   a.exit();
-  EXPECT_FALSE(verify_prog(a.finish()));
+  const auto res = verify_prog(a.finish());
+  EXPECT_FALSE(res);
+  EXPECT_NE(res.error.find("stack access out of bounds"), std::string::npos);
+}
+
+TEST_F(VerifierTest, RangeProvenVariableStackAccessAccepted) {
+  // Previously impossible under the constant-offset-only model: the
+  // masked index keeps fp[-16 + 4i], i in [0,3], provably in-bounds.
+  Assembler a;
+  a.call(HelperId::GetPrandomU32);
+  a.and_(r0, 3);
+  a.lsh(r0, 2);
+  a.mov(r3, r10);
+  a.add(r3, -16);
+  a.add(r3, r0);
+  a.ldx_w(r2, r3, 0);
+  a.mov(r0, 0);
+  a.exit();
+  const auto res = verify_prog(a.finish());
+  EXPECT_TRUE(res) << res.error;
+}
+
+TEST_F(VerifierTest, RangeProvenVariableMapValueAccessAccepted) {
+  Assembler a;
+  a.st_w(r10, -4, 0);
+  a.mov(r2, r10);
+  a.add(r2, -4);
+  a.ld_map_fd(r1, 0);
+  a.call(HelperId::MapLookupElem);
+  a.jeq(r0, 0, "out");
+  a.ldx_w(r3, r0, 0);
+  a.and_(r3, 7);  // value_size is 8: offsets [0,7] for a byte read
+  a.mov(r4, r0);
+  a.add(r4, r3);
+  a.ldx_b(r5, r4, 0);
+  a.label("out");
+  a.mov(r0, 0);
+  a.exit();
+  const auto res = verify_prog(a.finish());
+  EXPECT_TRUE(res) << res.error;
+}
+
+TEST_F(VerifierTest, DeadBranchIsPrunedNotVerified) {
+  // The taken edge is infeasible (r0 == 3 can't be > 5); the code behind
+  // it would be invalid but is never abstractly reached.
+  Assembler a;
+  a.mov(r0, 3);
+  a.jgt(r0, 5, "bad");
+  a.mov(r0, 0);
+  a.exit();
+  a.label("bad");
+  a.ldx_w(r2, r10, 0);  // out-of-bounds if it were live
+  a.exit();
+  const auto res = verify_prog(a.finish());
+  EXPECT_TRUE(res) << res.error;
+  EXPECT_GE(res.dead_edges, 1u);
+  EXPECT_EQ(res.dead_insns, 2u);
+}
+
+TEST_F(VerifierTest, SpilledScalarRangeRoundTrips) {
+  // A bounded scalar keeps its range through a stack spill/fill, so it
+  // can still prove a variable access after a helper clobbers r0.
+  Assembler a;
+  a.call(HelperId::GetPrandomU32);
+  a.and_(r0, 7);
+  a.stx_dw(r10, -8, r0);
+  a.call(HelperId::KtimeGetNs);
+  a.ldx_dw(r3, r10, -8);  // fill: range [0,7] restored
+  a.mov(r2, r10);
+  a.add(r2, -8);
+  a.add(r2, r3);
+  a.ldx_b(r4, r2, 0);  // fp-8 .. fp-1: in-bounds
+  a.mov(r0, 0);
+  a.exit();
+  const auto res = verify_prog(a.finish());
+  EXPECT_TRUE(res) << res.error;
+}
+
+TEST_F(VerifierTest, HelperContextArgMustBeContextBase) {
+  // The VM hands r1 to sk_select_reuseport as the raw context pointer;
+  // anything but the context base would misinterpret memory.
+  Assembler a;
+  a.st_w(r10, -4, 0);
+  a.mov(r3, r10);
+  a.add(r3, -4);
+  a.ld_map_fd(r2, 1);
+  a.add(r1, 8);
+  a.mov(r4, 0);
+  a.call(HelperId::SkSelectReuseport);
+  a.mov(r0, 0);
+  a.exit();
+  const auto res = verify_prog(a.finish());
+  EXPECT_FALSE(res);
+  EXPECT_NE(res.error.find("context base"), std::string::npos);
+}
+
+TEST_F(VerifierTest, HelperUpdateValueMustCoverValueSize) {
+  // map_update_elem reads value_size (8) bytes from r3; a pointer with
+  // only 4 bytes of stack behind it would trap in the VM.
+  Assembler a;
+  a.st_w(r10, -4, 0);
+  a.mov(r2, r10);
+  a.add(r2, -4);
+  a.mov(r3, r10);
+  a.add(r3, -4);
+  a.ld_map_fd(r1, 0);
+  a.mov(r4, 0);
+  a.call(HelperId::MapUpdateElem);
+  a.mov(r0, 0);
+  a.exit();
+  const auto res = verify_prog(a.finish());
+  EXPECT_FALSE(res);
+  EXPECT_NE(res.error.find("stack access out of bounds"), std::string::npos);
 }
 
 TEST_F(VerifierTest, PointerComparisonWithImmediateRejected) {

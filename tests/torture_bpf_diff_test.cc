@@ -3,7 +3,7 @@
 // Seeded random programs from testing::gen_program go through the verifier
 // (via Vm::load). Accepted programs run twice against identically
 // initialized state: once under bpf::Vm, once under the independent
-// straight-line reference interpreter (bpf/ref_interpreter.h), with
+// reference interpreter (bpf/ref_interpreter.h), with
 // deterministic counter-based time/rand helpers. The contract:
 //
 //   * a verifier-ACCEPTED program NEVER traps in the reference interpreter
@@ -80,11 +80,14 @@ struct World {
 TEST(TortureBpfDiff, TenThousandProgramsNoTrapNoDivergence) {
   int accepted = 0;
   int rejected = 0;
+  int accepted_with_loop = 0;
+  int accepted_with_range_access = 0;
 
   for (int i = 0; i < kNumPrograms; ++i) {
     const uint64_t seed = kSeedBase + static_cast<uint64_t>(i);
     sim::Rng rng(seed);
-    const Program prog = testing::gen_program(rng, kGen);
+    testing::GenStats stats;
+    const Program prog = testing::gen_program(rng, kGen, &stats);
     const ReuseportCtx ctx0 = testing::gen_ctx(rng);
 
     sim::Rng world_rng(seed ^ 0xabcdef);
@@ -102,6 +105,8 @@ TEST(TortureBpfDiff, TenThousandProgramsNoTrapNoDivergence) {
       continue;
     }
     ++accepted;
+    if (stats.has_loop) ++accepted_with_loop;
+    if (stats.has_range_access) ++accepted_with_range_access;
 
     // Reference run first: an accepted program must never trap.
     Map* ref_maps[] = {&ref_world.array, &ref_world.socks};
@@ -144,8 +149,19 @@ TEST(TortureBpfDiff, TenThousandProgramsNoTrapNoDivergence) {
       << "generator produced almost no verifiable programs";
   EXPECT_GT(rejected, kNumPrograms / 20)
       << "generator stopped producing rejection-worthy programs";
+  // Program classes the abstract interpreter newly admits (the old
+  // verifier rejected all backward edges and all variable-offset
+  // accesses) must both occur AND pass verification — otherwise the
+  // corpus no longer covers the analysis engine's hardest paths.
+  EXPECT_GT(accepted_with_loop, 0)
+      << "no accepted program contained a bounded loop";
+  EXPECT_GT(accepted_with_range_access, 0)
+      << "no accepted program contained a range-proven variable-offset "
+         "access";
   RecordProperty("accepted", accepted);
   RecordProperty("rejected", rejected);
+  RecordProperty("accepted_with_loop", accepted_with_loop);
+  RecordProperty("accepted_with_range_access", accepted_with_range_access);
 }
 
 TEST(TortureBpfDiff, GeneratorIsDeterministic) {
