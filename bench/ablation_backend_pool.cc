@@ -18,7 +18,7 @@ using namespace hermes::bench;
 
 namespace {
 
-void rr_experiment(bool randomize) {
+void rr_experiment(bool randomize, BenchJson& json) {
   constexpr uint32_t kWorkers = 32;
   constexpr uint32_t kBackends = 16;
   constexpr int kUpdates = 50;       // controller pushes per run
@@ -50,9 +50,13 @@ void rr_experiment(bool randomize) {
                                           : static_cast<double>(mx) /
                                                 static_cast<double>(mn),
               traffic.size(), kBackends);
+  json.metric(std::string(randomize ? "randomized" : "synchronized") +
+                  ".max_over_avg",
+              static_cast<double>(mx) * kBackends /
+                  static_cast<double>(total));
 }
 
-void pool_experiment() {
+void pool_experiment(BenchJson& json) {
   constexpr uint32_t kWorkers = 32;
   constexpr uint32_t kBackends = 8;
   constexpr int kRequests = 100000;
@@ -78,19 +82,23 @@ void pool_experiment() {
                   hermes_spread ? "hermes spread" : "exclusive concent.",
                   shared ? "shared pool" : "per-worker pool",
                   100 * st.hit_rate(), (1.0 - st.hit_rate()) * handshake_ms);
+      json.metric(std::string(hermes_spread ? "spread" : "concentrated") +
+                      (shared ? ".shared" : ".per_worker") + ".hit_rate_pct",
+                  100 * st.hit_rate());
     }
   }
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  BenchJson json("ablation_backend_pool", &argc, argv);
   header("Ablation: backend RR start offset & shared connection pool (§7)");
   subheader("1. backend traffic skew after synchronized list updates");
-  rr_experiment(false);
-  rr_experiment(true);
+  rr_experiment(false, json);
+  rr_experiment(true, json);
   subheader("2. backend connection reuse vs pool architecture");
-  pool_experiment();
+  pool_experiment(json);
   std::printf("\nExpected: randomized offsets remove the 2-3x first-backend"
               " skew; a shared\npool keeps reuse high under Hermes's even"
               " spread (per-worker pools only\nwork when traffic concentrates"

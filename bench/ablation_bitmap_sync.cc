@@ -73,7 +73,8 @@ double run(int writers, int seconds_hundredths) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  hermes::bench::BenchJson json("ablation_bitmap_sync", &argc, argv);
   hermes::bench::header(
       "Ablation: lock-free bitmap vs mutex-guarded array decision sync");
   std::printf("%-10s %22s %22s %8s\n", "#writers", "mutex array (Mops/s)",
@@ -83,6 +84,11 @@ int main() {
     const double atomic = run<AtomicBitmap>(writers, 30);
     std::printf("%-10d %22.1f %22.1f %7.1fx\n", writers, locked, atomic,
                 atomic / locked);
+    // Wall-clock throughputs: recorded for trend-watching, not gated.
+    const std::string prefix = "writers" + std::to_string(writers);
+    json.metric(prefix + ".mutex_mops", locked);
+    json.metric(prefix + ".atomic_mops", atomic);
+    json.metric(prefix + ".speedup", atomic / locked);
   }
   std::printf("\nExpected: the atomic 64-bit bitmap scales with writers"
               " while the mutex\narray serializes them — the reason Hermes"

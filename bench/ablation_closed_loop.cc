@@ -41,7 +41,8 @@ Row run(SimTime interval, uint64_t seed) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  BenchJson json("ablation_closed_loop", &argc, argv);
   header("Ablation: decision-sync freshness (closed loop -> static steering)");
   std::printf("%-16s %10s %10s %14s\n", "min sync gap", "Avg (ms)",
               "P99 (ms)", "total syncs");
@@ -69,6 +70,9 @@ int main() {
     }
     std::printf("%-16s %10.2f %10.2f %14lu\n", c.name, avg, p99,
                 (unsigned long)syncs);
+    json.metric(std::string(c.name) + ".p99_ms", p99);
+    json.metric(std::string(c.name) + ".syncs",
+                static_cast<double>(syncs));
   }
   std::printf("\nExpected: latency degrades monotonically as the loop"
               " staleness grows;\nthe static end of the sweep behaves like"

@@ -60,7 +60,8 @@ Outcome run_variant(const Variant& v, uint64_t seed) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  BenchJson json("ablation_filter_order", &argc, argv);
   header("Ablation: coarse-filter cascade order and composition");
   using FS = core::FilterStage;
   const Variant variants[] = {
@@ -82,6 +83,9 @@ int main() {
       surge += o.surge_p999_ms / 3;
     }
     std::printf("%-28s %12.2f %12.1f %16.2f\n", v.name, p99, sd, surge);
+    json.metric(std::string(v.name) + ".p99_ms", p99);
+    json.metric(std::string(v.name) + ".conn_sd", sd);
+    json.metric(std::string(v.name) + ".surge_p999_ms", surge);
   }
   std::printf("\nExpected: dropping the connection filter (time-only /"
               " time,event) inflates\nconn SD and the surge P999 (the lag"

@@ -62,7 +62,8 @@ Outcome run_groups(uint32_t workers_per_group, uint64_t seed) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  BenchJson json("ablation_group_locality", &argc, argv);
   header("Ablation: group size — cache locality vs load balance (Fig. A6)");
   std::printf("%-18s %10s %14s %24s\n", "workers/group", "#groups",
               "conn SD", "avg workers per dest");
@@ -74,6 +75,9 @@ int main() {
       loc += o.avg_workers_per_dest / 3;
     }
     std::printf("%-18u %10u %14.1f %24.2f\n", wpg, 8 / wpg, sd, loc);
+    const std::string prefix = "wpg" + std::to_string(wpg);
+    json.metric(prefix + ".conn_sd", sd);
+    json.metric(prefix + ".workers_per_dest", loc);
   }
   std::printf("\nExpected: fewer workers per group -> fewer distinct"
               " workers per destination\n(better locality) but higher conn"

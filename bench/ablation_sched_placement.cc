@@ -47,7 +47,8 @@ Outcome run_placement(bool at_start, uint64_t seed) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  BenchJson json("ablation_sched_placement", &argc, argv);
   header("Ablation: scheduler at loop END (paper) vs loop START");
   std::printf("%-22s %12s %12s\n", "placement", "Avg (ms)", "P99 (ms)");
   for (const bool at_start : {false, true}) {
@@ -60,6 +61,9 @@ int main() {
     std::printf("%-22s %12.2f %12.2f\n",
                 at_start ? "loop start (stale)" : "loop end (paper)", avg,
                 p99);
+    const std::string prefix = at_start ? "loop_start" : "loop_end";
+    json.metric(prefix + ".avg_ms", avg);
+    json.metric(prefix + ".p99_ms", p99);
   }
   std::printf("\nExpected: end-of-loop placement wins — start-of-loop"
               " publishes status\nbefore the batch lands, overloading"

@@ -54,7 +54,8 @@ Row run(netsim::DispatchMode mode, int retries, uint64_t seed) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  BenchJson json("ablation_syn_retry", &argc, argv);
   header("Ablation: SYN retry amplification (small backlogs, wedge-heavy load)");
   std::printf("%-18s %9s | %10s %12s %10s %11s\n", "mode", "retries",
               "drops", "retransmits", "P99 (ms)", "Thr (kRPS)");
@@ -66,6 +67,12 @@ int main() {
                   netsim::to_string(mode), retries,
                   (unsigned long)r.drops, (unsigned long)r.retransmits,
                   r.p99_ms, r.thr_krps);
+      const std::string prefix = std::string(netsim::to_string(mode)) +
+                                 ".retries" + std::to_string(retries);
+      json.metric(prefix + ".drops", static_cast<double>(r.drops));
+      json.metric(prefix + ".retransmits",
+                  static_cast<double>(r.retransmits));
+      json.metric(prefix + ".thr_krps", r.thr_krps);
     }
   }
   std::printf("\nExpected: reuseport drops pile up on wedged workers'"

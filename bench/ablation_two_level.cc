@@ -51,7 +51,8 @@ Row run(uint32_t workers, uint32_t wpg, uint64_t seed) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  BenchJson json("ablation_two_level", &argc, argv);
   header("Ablation: two-level scheduling beyond 64 workers (paper §7)");
   std::printf("%-26s %10s %10s %14s\n", "configuration", "P99 (ms)",
               "conn SD", "bpf dispatches");
@@ -59,12 +60,18 @@ int main() {
   const Row w64 = run(64, 64, 31);
   std::printf("%-26s %10.2f %10.1f %14lu\n", "64 workers, 1 group", w64.p99_ms,
               w64.conn_sd, (unsigned long)w64.bpf_selected);
+  json.metric("w64.conn_sd", w64.conn_sd);
+  json.metric("w64.bpf_selected", static_cast<double>(w64.bpf_selected));
   const Row w128 = run(128, 64, 32);
   std::printf("%-26s %10.2f %10.1f %14lu\n", "128 workers, 2 groups",
               w128.p99_ms, w128.conn_sd, (unsigned long)w128.bpf_selected);
+  json.metric("w128.conn_sd", w128.conn_sd);
+  json.metric("w128.bpf_selected", static_cast<double>(w128.bpf_selected));
   const Row w100 = run(100, 64, 33);
   std::printf("%-26s %10.2f %10.1f %14lu\n", "100 workers, 64+36 groups",
               w100.p99_ms, w100.conn_sd, (unsigned long)w100.bpf_selected);
+  json.metric("w100.conn_sd", w100.conn_sd);
+  json.metric("w100.bpf_selected", static_cast<double>(w100.bpf_selected));
 
   std::printf("\nExpected: grouped scheduling preserves balance and latency"
               " at 100-128\nworkers — the 64-bit bitmap does not cap Hermes;"

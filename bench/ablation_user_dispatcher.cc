@@ -54,7 +54,8 @@ Row run(netsim::DispatchMode mode, double cps, uint64_t seed) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  BenchJson json("ablation_user_dispatcher", &argc, argv);
   header("Ablation: userspace dispatcher (§2.2) vs in-kernel Hermes dispatch");
   std::printf("%-10s | %21s | %31s\n", "", "hermes", "user-dispatcher");
   std::printf("%-10s | %9s %11s | %9s %11s %9s\n", "offered",
@@ -65,6 +66,10 @@ int main() {
     std::printf("%-8.0fk | %9.1f %11.2f | %9.1f %11.2f %8.0f%%\n", cps / 1e3,
                 h.thr_kcps, h.p99_ms, d.thr_kcps, d.p99_ms,
                 100 * d.dispatcher_util);
+    const std::string prefix = "cps" + std::to_string((int)(cps / 1e3)) + "k";
+    json.metric(prefix + ".hermes_kcps", h.thr_kcps);
+    json.metric(prefix + ".dispatcher_kcps", d.thr_kcps);
+    json.metric(prefix + ".dispatcher_util_pct", 100 * d.dispatcher_util);
   }
   std::printf("\nExpected: both match at low CPS; the dispatcher core"
               " saturates around\n1/dispatch_cost (~55 kCPS) and its"

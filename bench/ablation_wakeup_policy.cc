@@ -12,7 +12,7 @@ using namespace hermes::bench;
 
 namespace {
 
-void run_mode(netsim::DispatchMode mode) {
+void run_mode(netsim::DispatchMode mode, BenchJson& json) {
   sim::LbDevice::Config cfg;
   cfg.mode = mode;
   cfg.num_workers = 8;
@@ -40,11 +40,17 @@ void run_mode(netsim::DispatchMode mode) {
               static_cast<double>(window.p99()) / 1e6, s.cpu_sd * 100,
               static_cast<long>(cmax - cmin),
               (unsigned long)lb.netstack().stats().wasted_wakeups);
+  const std::string prefix = netsim::to_string(mode);
+  json.metric(prefix + ".p99_ms", static_cast<double>(window.p99()) / 1e6);
+  json.metric(prefix + ".conn_spread", static_cast<double>(cmax - cmin));
+  json.metric(prefix + ".wasted_wakeups",
+              static_cast<double>(lb.netstack().stats().wasted_wakeups));
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  BenchJson json("ablation_wakeup_policy", &argc, argv);
   header("Ablation: every wakeup/dispatch policy on one case-3 workload");
   std::printf("%-18s %9s %10s %9s %12s %14s\n", "mode", "Avg(ms)",
               "P99(ms)", "CPU SD", "conn spread", "wasted wakeups");
@@ -53,7 +59,7 @@ int main() {
         netsim::DispatchMode::EpollRr, netsim::DispatchMode::IoUringFifo,
         netsim::DispatchMode::UserDispatcher, netsim::DispatchMode::Reuseport,
         netsim::DispatchMode::HermesMode}) {
-    run_mode(mode);
+    run_mode(mode, json);
   }
   std::printf("\nExpected: wake-all burns wakeups; LIFO and FIFO concentrate"
               " connections\n(mirror images); rr fixes fairness at cache"

@@ -15,6 +15,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "bench/bench_common.h"
 #include "bpf/analysis/interp.h"
 #include "bpf/assembler.h"
 #include "bpf/maps.h"
@@ -104,7 +105,7 @@ void BM_AnalyzeBoundedLoop(benchmark::State& state) {
 BENCHMARK(BM_AnalyzeBoundedLoop)->Arg(1)->Arg(8)->Arg(32)->Arg(128);
 
 // Part 2: size vs abstract steps vs wall time over generator output.
-void print_cost_table() {
+void print_cost_table(bench::BenchJson& json) {
   std::printf("\nAnalyzer cost vs generated program size"
               " (200 seeded programs per row)\n");
   std::printf("%-6s | %9s %11s %11s %9s %9s\n", "atoms", "avg insns",
@@ -132,6 +133,11 @@ void print_cost_table() {
                 static_cast<double>(steps) / n,
                 static_cast<unsigned long long>(max_steps), us,
                 100.0 * accepted / n);
+    const std::string prefix = "atoms" + std::to_string(atoms);
+    json.metric(prefix + ".avg_insns", static_cast<double>(insns) / n);
+    json.metric(prefix + ".avg_steps", static_cast<double>(steps) / n);
+    json.metric(prefix + ".accept_pct", 100.0 * accepted / n);
+    json.metric(prefix + ".avg_us", us);  // wall clock: excluded from gate
   }
   std::printf("\nshape: steps grow linearly with program size except when"
               " loop atoms\nappear (each proven trip replays the body);"
@@ -143,10 +149,11 @@ void print_cost_table() {
 }  // namespace
 
 int main(int argc, char** argv) {
+  bench::BenchJson json("analysis_cost", &argc, argv);
   benchmark::Initialize(&argc, argv);
   std::printf("Analyzer microbenchmarks: verification time by program"
               " shape\n");
   benchmark::RunSpecifiedBenchmarks();
-  print_cost_table();
+  print_cost_table(json);
   return 0;
 }

@@ -64,7 +64,8 @@ PhaseStats run_phase(sim::MultiLbCluster& cluster, bool attack, SimTime dur) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  BenchJson json("appendixC_sandbox", &argc, argv);
   header("Appendix C (case 2): abusive-tenant sandbox isolation");
 
   std::vector<sim::MultiLbCluster::DeviceSpec> specs = {
@@ -104,6 +105,9 @@ int main() {
   std::printf("%-34s %11.2f ms %11.2f ms\n",
               "3. attack continues, sandboxed", sandboxed.victim_avg_ms,
               sandboxed.victim_p99_ms);
+  json.metric("healthy.victim_p99_ms", healthy.victim_p99_ms);
+  json.metric("attack.victim_p99_ms", under_attack.victim_p99_ms);
+  json.metric("sandboxed.victim_p99_ms", sandboxed.victim_p99_ms);
 
   std::printf("\nShape: the attack inflates the victims' tail on shared"
               " devices; after the\nsandbox migration the victims return"

@@ -5,13 +5,79 @@
 #pragma once
 
 #include <cstdio>
+#include <cstring>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "obs/json.h"
 #include "sim/lb.h"
 #include "sim/workload.h"
 
 namespace hermes::bench {
+
+// Machine-readable results: every bench accepts `--json <path>` and writes
+// a flat {"bench": name, "metrics": {name: number, ...}} object there on
+// exit, alongside its normal human-readable stdout. The flag is stripped
+// from argv up front so binaries that hand argv to google-benchmark don't
+// trip over it. scripts/bench_report.sh aggregates the per-bench files into
+// BENCH_<n>.json; scripts/bench_gate.sh diffs a fast subset against
+// bench/baseline.json.
+class BenchJson {
+ public:
+  BenchJson(std::string bench, int* argc, char** argv)
+      : bench_(std::move(bench)) {
+    for (int i = 1; i + 1 < *argc; ++i) {
+      if (std::strcmp(argv[i], "--json") == 0) {
+        path_ = argv[i + 1];
+        for (int j = i; j + 2 < *argc; ++j) argv[j] = argv[j + 2];
+        *argc -= 2;
+        argv[*argc] = nullptr;
+        break;
+      }
+    }
+  }
+
+  BenchJson(const BenchJson&) = delete;
+  BenchJson& operator=(const BenchJson&) = delete;
+
+  ~BenchJson() { write(); }
+
+  bool enabled() const { return !path_.empty(); }
+
+  void metric(const std::string& name, double v) {
+    metrics_.emplace_back(name, v);
+  }
+
+  // Writes the file (idempotent; also called from the destructor).
+  void write() {
+    if (path_.empty() || written_) return;
+    written_ = true;
+    std::string out;
+    obs::JsonWriter w(&out);
+    w.begin_object();
+    w.field("bench", bench_);
+    w.key("metrics");
+    w.begin_object();
+    for (const auto& [name, v] : metrics_) w.field(name, v);
+    w.end_object();
+    w.end_object();
+    out += '\n';
+    std::FILE* f = std::fopen(path_.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "bench: cannot open %s\n", path_.c_str());
+      return;
+    }
+    std::fwrite(out.data(), 1, out.size(), f);
+    std::fclose(f);
+  }
+
+ private:
+  std::string bench_;
+  std::string path_;
+  std::vector<std::pair<std::string, double>> metrics_;
+  bool written_ = false;
+};
 
 inline void header(const std::string& title) {
   std::printf("\n================================================================\n");

@@ -18,7 +18,8 @@ constexpr int kReleaseDay = 2;
 constexpr double kDailyChurn = 0.55;  // fraction of old conns closing daily
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  BenchJson json("fig11_cluster", &argc, argv);
   header("Fig. 11 (cluster): canary release across 4 LB devices, simulated");
 
   std::vector<sim::MultiLbCluster::DeviceSpec> specs = {
@@ -96,6 +97,9 @@ int main() {
                     std::max<uint64_t>(1, probes),
                 (unsigned long)old_conns, (unsigned long)new_conns,
                 day == kReleaseDay ? "   <- Hermes release" : "");
+    json.metric("day" + std::to_string(day) + ".delayed_rate_pct",
+                100.0 * static_cast<double>(delayed) /
+                    static_cast<double>(std::max<uint64_t>(1, probes)));
 
     // Daily client churn on every device; draining devices get no
     // replacements, so their population decays (the Fig. 11 tail).

@@ -76,7 +76,8 @@ ProbeResult run_region(netsim::DispatchMode mode, uint64_t seed) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  BenchJson json("fig11_probes", &argc, argv);
   header("Fig. 11: delayed probes per day, before/after Hermes deployment");
 
   struct Region {
@@ -106,6 +107,12 @@ int main() {
                 "  (%lu/%lu in window)  reduction %.1f%%\n",
                 after_day, static_cast<unsigned long>(after.delayed),
                 static_cast<unsigned long>(after.sent),
+                100.0 * (1.0 - after_day / std::max(1.0, before_day)));
+    json.metric(std::string(r.name) + ".before_delayed",
+                static_cast<double>(before.delayed));
+    json.metric(std::string(r.name) + ".after_delayed",
+                static_cast<double>(after.delayed));
+    json.metric(std::string(r.name) + ".reduction_pct",
                 100.0 * (1.0 - after_day / std::max(1.0, before_day)));
 
     sim::CanaryDrainModel drain{r.drain_tau_days};

@@ -11,7 +11,8 @@
 using namespace hermes;
 using namespace hermes::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  BenchJson json("fig12_unit_cost", &argc, argv);
   header("Fig. 12: unit cost of cloud infra before/after Hermes");
 
   sim::UnitCostModel model;
@@ -47,6 +48,8 @@ int main() {
   }
   std::printf("\npeak unit-cost reduction: %.1f%% (paper: 18.9%%)\n",
               peak_reduction);
+  json.metric("peak_reduction_pct", peak_reduction);
+  json.metric("baseline_unit_cost", baseline_cost);
   std::printf("Mechanism check: 30%%->40%% threshold alone gives 1 -"
               " 0.30/0.40 = 25%% fewer\nVMs; ceil-quantization and AZ"
               " redundancy reserve keep the realized saving\nbelow that,"

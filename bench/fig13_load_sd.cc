@@ -57,7 +57,8 @@ SdResult run_mode(netsim::DispatchMode mode) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  BenchJson json("fig13_load_sd", &argc, argv);
   header("Fig. 13: SD of per-worker CPU%% and #connections per mode");
   std::printf("%-18s %12s %12s %12s %12s\n", "mode", "CPU SD(pp)",
               "conn SD", "CPU avg(%)", "conns avg");
@@ -75,6 +76,10 @@ int main() {
     ++i;
     std::printf("%-18s %12.2f %12.1f %12.1f %12.1f\n", mode_name(m),
                 r.cpu_sd_pct, r.conn_sd, r.cpu_avg_pct, r.conns_avg);
+    const std::string prefix = mode_name(m);
+    json.metric(prefix + ".cpu_sd_pp", r.cpu_sd_pct);
+    json.metric(prefix + ".conn_sd", r.conn_sd);
+    json.metric(prefix + ".cpu_avg_pct", r.cpu_avg_pct);
   }
   std::printf("\npaper:            CPU SD 26 / 2.7 / 2.7 pp; conn SD"
               " 3200 / 50 / 20\nshape checks: exclusive CPU SD >> others"

@@ -10,7 +10,8 @@
 using namespace hermes;
 using namespace hermes::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  BenchJson json("fig14_filter_ratio", &argc, argv);
   header("Fig. 14: coarse-filter pass ratio & scheduler call frequency vs load");
   std::printf("%-8s %16s %20s %14s\n", "load", "pass ratio", "sched calls/s",
               "LB CPU avg");
@@ -39,6 +40,11 @@ int main() {
     std::printf("%-8.2f %15.1f%% %20.0f %13.1f%%\n", load,
                 100.0 * selected / (schedules * cfg.num_workers),
                 schedules / 6.0, 100 * s.cpu_avg);
+    char key[32];
+    std::snprintf(key, sizeof(key), "load%.2f", load);
+    json.metric(std::string(key) + ".pass_ratio_pct",
+                100.0 * selected / (schedules * cfg.num_workers));
+    json.metric(std::string(key) + ".sched_calls_per_s", schedules / 6.0);
   }
   std::printf("\nShape: pass ratio decreases with load; call frequency"
               " increases with load\n(paper Fig. 14) — exactly the"

@@ -51,7 +51,8 @@ Point run_theta(double theta, int case_id, double load, uint64_t seed) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  BenchJson json("fig15_theta_sweep", &argc, argv);
   header("Fig. 15: theta/Avg sweep -> avg P99 latency & throughput");
   std::printf("(average of cases 1 and 4 at moderate load, 3 seeds each)\n");
   std::printf("%-10s %12s %14s\n", "theta/Avg", "P99 (ms)", "Thr (kRPS)");
@@ -71,12 +72,16 @@ int main() {
     p99 /= n;
     thr /= n;
     std::printf("%-10.3f %12.2f %14.1f\n", theta, p99, thr * 2);
+    char key[32];
+    std::snprintf(key, sizeof(key), "theta%.3f.p99_ms", theta);
+    json.metric(key, p99);
     if (p99 < best_p99) {
       best_p99 = p99;
       best_theta = theta;
     }
   }
   std::printf("\nbest theta/Avg by avg P99: %.3f (paper: 0.5)\n", best_theta);
+  json.metric("best_theta", best_theta);
   std::printf("Shape: a U-curve — tiny theta concentrates new connections"
               " on too few\nworkers; huge theta admits overloaded workers;"
               " the optimum sits mid-range.\n");

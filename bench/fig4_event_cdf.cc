@@ -8,7 +8,8 @@
 using namespace hermes;
 using namespace hermes::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  BenchJson json("fig4_event_cdf", &argc, argv);
   header("Fig. 4: #events returned from epoll_wait() per worker (exclusive)");
 
   sim::LbDevice::Config cfg;
@@ -31,6 +32,10 @@ int main() {
                 static_cast<long>(h.p50()), static_cast<long>(h.p90()),
                 static_cast<long>(h.p99()), static_cast<long>(h.max_value()),
                 h.mean(), static_cast<unsigned long>(h.count()));
+    const std::string prefix = "w" + std::to_string(w);
+    json.metric(prefix + ".events_p99", static_cast<double>(h.p99()));
+    json.metric(prefix + ".events_mean", h.mean());
+    json.metric(prefix + ".waits", static_cast<double>(h.count()));
   }
   std::printf("\nShape: the LIFO-favoured worker (highest id) collects far"
               " more events per\nwait than its siblings — the skew of paper"

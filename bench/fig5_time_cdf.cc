@@ -9,7 +9,8 @@
 using namespace hermes;
 using namespace hermes::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  BenchJson json("fig5_time_cdf", &argc, argv);
   header("Fig. 5: event processing time & epoll_wait blocking time CDFs");
 
   sim::LbDevice::Config cfg;
@@ -33,6 +34,8 @@ int main() {
                 static_cast<double>(h.p90()) / 1e3,
                 static_cast<double>(h.p99()) / 1e3,
                 static_cast<double>(h.max_value()) / 1e3);
+    json.metric("w" + std::to_string(w) + ".proc_p99_us",
+                static_cast<double>(h.p99()) / 1e3);
   }
 
   subheader("(b) epoll_wait blocking time (ms; timeout = 5 ms)");
@@ -45,10 +48,15 @@ int main() {
                 static_cast<double>(h.p90()) / 1e6,
                 static_cast<double>(h.p99()) / 1e6);
     // Waits that hit the full 5 ms timeout == wakeups with no events.
-    std::printf(" %11.1f%%\n",
-                100.0 * static_cast<double>(lb.worker(w).wasted_wakeups()) /
-                    static_cast<double>(std::max<uint64_t>(
-                        1, lb.worker(w).loop_iterations())));
+    const double wasted_pct =
+        100.0 * static_cast<double>(lb.worker(w).wasted_wakeups()) /
+        static_cast<double>(
+            std::max<uint64_t>(1, lb.worker(w).loop_iterations()));
+    std::printf(" %11.1f%%\n", wasted_pct);
+    const std::string prefix = "w" + std::to_string(w);
+    json.metric(prefix + ".block_p50_ms",
+                static_cast<double>(h.p50()) / 1e6);
+    json.metric(prefix + ".wasted_pct", wasted_pct);
   }
   std::printf("\nShape: busy (LIFO-head) workers block ~0 ms and process"
               " heavier events;\nidle workers spend most waits blocking the"

@@ -15,7 +15,8 @@
 using namespace hermes;
 using namespace hermes::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  BenchJson json("fig7_nic_vs_cpu", &argc, argv);
   header("Fig. 7: NIC-queue packet balance vs CPU core imbalance");
 
   constexpr uint32_t kQueues = 8;
@@ -84,5 +85,15 @@ int main() {
               " (max-min %0.1f points) under exclusive.\n",
               100.0 / kQueues, 100 * s.cpu_min, 100 * s.cpu_max,
               100 * (s.cpu_max - s.cpu_min));
+  uint64_t q_max = 0, q_min = queue_pkts[0];
+  for (auto v : queue_pkts) {
+    q_max = std::max(q_max, v);
+    q_min = std::min(q_min, v);
+  }
+  json.metric("queue_share_spread_pct",
+              100.0 * static_cast<double>(q_max - q_min) /
+                  static_cast<double>(total));
+  json.metric("cpu_spread_pp", 100 * (s.cpu_max - s.cpu_min));
+  json.metric("cpu_sd_pp", 100 * s.cpu_sd);
   return 0;
 }

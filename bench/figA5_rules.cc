@@ -13,7 +13,8 @@
 using namespace hermes;
 using namespace hermes::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  BenchJson json("figA5_rules", &argc, argv);
   header("Fig. A5: forwarding rules per port (CDF) + routing cost scaling");
 
   sim::Rng rng(31);
@@ -30,6 +31,8 @@ int main() {
               "  max=%.0f\n",
               ss.quantile(0.10), ss.quantile(0.50), ss.quantile(0.90),
               ss.quantile(0.99), ss.quantile(1.0));
+  json.metric("rules_p50", ss.quantile(0.50));
+  json.metric("rules_p99", ss.quantile(0.99));
 
   subheader("routing cost vs rule count (real RouteTable::match)");
   http::CostModel cost_model;
@@ -51,6 +54,8 @@ int main() {
     shape.bytes = 2048;
     shape.rules_examined = m.rules_examined;
     std::printf("%-12zu %16zu %14.1f\n", n, m.rules_examined,
+                cost_model.cost(shape).us_f());
+    json.metric("rules" + std::to_string(n) + ".cost_us",
                 cost_model.cost(shape).us_f());
   }
   std::printf("\nShape: rule counts are heavy-tailed across ports, and"

@@ -15,7 +15,8 @@
 using namespace hermes;
 using namespace hermes::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  BenchJson json("table1_regions", &argc, argv);
   header("Table 1: request size / processing time distributions per region");
 
   const double paper_size[4][3] = {{243, 312, 2491},
@@ -47,6 +48,10 @@ int main() {
                 r.name.c_str(), bytes.quantile(0.5), bytes.quantile(0.9),
                 bytes.quantile(0.99), ms.quantile(0.5), ms.quantile(0.9),
                 ms.quantile(0.99));
+    json.metric(r.name + ".bytes_p50", bytes.quantile(0.5));
+    json.metric(r.name + ".bytes_p99", bytes.quantile(0.99));
+    json.metric(r.name + ".ms_p50", ms.quantile(0.5));
+    json.metric(r.name + ".ms_p99", ms.quantile(0.99));
     std::printf("%-9s | %8.0f %8.0f %9.0f | %9.1f %9.1f %10.1f  (paper)\n",
                 "", paper_size[idx][0], paper_size[idx][1], paper_size[idx][2],
                 paper_ms[idx][0], paper_ms[idx][1], paper_ms[idx][2]);

@@ -43,7 +43,7 @@ sim::DeviceUtilization run_device(netsim::DispatchMode mode, int region_mix,
   return du;
 }
 
-void run_region(netsim::DispatchMode mode) {
+void run_region(netsim::DispatchMode mode, BenchJson& json) {
   subheader(std::string("mode = ") + mode_name(mode));
   sim::RegionUtilization region;
   for (uint64_t d = 0; d < 12; ++d) {
@@ -59,16 +59,21 @@ void run_region(netsim::DispatchMode mode) {
   std::printf("%-22s %9.1f%% %9.1f%% %9.1f%% %11.1f%%\n",
               "region average (12 devices)", avg.max_core, avg.min_core,
               avg.avg_core, avg.max_core - avg.min_core);
+  const std::string prefix = mode_name(mode);
+  json.metric(prefix + ".worst_spread_pp", worst.spread());
+  json.metric(prefix + ".region_max_pct", avg.max_core);
+  json.metric(prefix + ".region_min_pct", avg.min_core);
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  BenchJson json("table2_imbalance", &argc, argv);
   header("Table 2: per-core CPU utilization imbalance (exclusive vs Hermes)");
   std::printf("Paper (exclusive, Region2): device A 94%%/21%%, device B"
               " 90%%/6%%; region avg 75.5%%/15.3%%/42.9%%\n");
-  run_region(netsim::DispatchMode::EpollExclusive);
-  run_region(netsim::DispatchMode::HermesMode);
+  run_region(netsim::DispatchMode::EpollExclusive, json);
+  run_region(netsim::DispatchMode::HermesMode, json);
   std::printf("\nShape to verify: exclusive shows a large max-min core gap;"
               " Hermes collapses it.\n");
   return 0;

@@ -15,7 +15,8 @@
 using namespace hermes;
 using namespace hermes::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  BenchJson json("table3_cases", &argc, argv);
   header("Table 3: Hermes vs epoll exclusive vs reuseport (4 cases x 3 loads)");
   std::printf("Simulated LB: 8 workers, 8 tenant ports; load 1/2/3 = "
               "light/medium/heavy replay\n");
@@ -49,6 +50,11 @@ int main() {
         spec.seed = 1000 + c;
         const CellResult r = run_cell(spec);
         std::printf(" %8.3f %8.2f %9.1f |", r.avg_ms, r.p99_ms, r.thr_krps);
+        char key[64];
+        std::snprintf(key, sizeof(key), "case%d.%s.load%.0f", c,
+                      mode_name(mode), load);
+        json.metric(std::string(key) + ".p99_ms", r.p99_ms);
+        json.metric(std::string(key) + ".thr_krps", r.thr_krps);
       }
       std::printf("\n");
     }

@@ -14,6 +14,7 @@
 #include <cstring>
 #include <string>
 
+#include "obs/trace_ring.h"
 #include "sim/lb.h"
 
 using namespace hermes;
@@ -30,6 +31,9 @@ struct Args {
   uint64_t seed = 1;
   double theta = 0.5;
   int64_t sync_us = 0;
+  bool metrics = false;
+  int trace_dump = 0;
+  std::string trace_json;
   bool help = false;
 };
 
@@ -65,6 +69,9 @@ Args parse(int argc, char** argv) {
     else if (flag == "--seed") a.seed = (uint64_t)std::atoll(next());
     else if (flag == "--theta") a.theta = std::atof(next());
     else if (flag == "--sync-us") a.sync_us = std::atoll(next());
+    else if (flag == "--metrics") a.metrics = true;
+    else if (flag == "--trace-dump") a.trace_dump = std::atoi(next());
+    else if (flag == "--trace-json") a.trace_json = next();
     else if (flag == "--help" || flag == "-h") a.help = true;
     else {
       std::fprintf(stderr, "unknown flag '%s' (try --help)\n", flag.c_str());
@@ -85,7 +92,10 @@ void usage() {
       "  --seconds S    simulated duration (default 10)\n"
       "  --seed N       RNG seed (default 1)\n"
       "  --theta X      Hermes filter offset theta/Avg (default 0.5)\n"
-      "  --sync-us N    min gap between decision syncs, 0 = every loop");
+      "  --sync-us N    min gap between decision syncs, 0 = every loop\n"
+      "  --metrics      dump the observability registry after the run\n"
+      "  --trace-dump N print the last N trace-ring events\n"
+      "  --trace-json P write chrome://tracing JSON of the trace rings to P");
 }
 
 }  // namespace
@@ -159,6 +169,36 @@ int main(int argc, char** argv) {
                 (unsigned long)lb.dispatcher()->dispatched(),
                 100.0 * (double)lb.dispatcher()->busy_time().ns() /
                     (double)end.ns());
+  }
+
+  if (lb.obs() != nullptr) {
+    if (a.metrics) {
+      std::printf("\n-- metrics --------------------------------------\n%s",
+                  lb.obs()->registry.text_dump().c_str());
+    }
+    if (a.trace_dump > 0) {
+      auto events = lb.obs()->traces.merged_snapshot();
+      const size_t n = static_cast<size_t>(a.trace_dump);
+      if (events.size() > n) {
+        events.erase(events.begin(),
+                     events.end() - static_cast<ptrdiff_t>(n));
+      }
+      std::printf("\n-- trace (last %zu events) ----------------------\n%s",
+                  events.size(), obs::to_text(events).c_str());
+    }
+    if (!a.trace_json.empty()) {
+      const auto events = lb.obs()->traces.merged_snapshot();
+      std::FILE* f = std::fopen(a.trace_json.c_str(), "w");
+      if (f == nullptr) {
+        std::fprintf(stderr, "cannot open %s\n", a.trace_json.c_str());
+        return 1;
+      }
+      const std::string json = obs::to_chrome_trace(events);
+      std::fwrite(json.data(), 1, json.size(), f);
+      std::fclose(f);
+      std::printf("trace      : %zu events -> %s (chrome://tracing)\n",
+                  events.size(), a.trace_json.c_str());
+    }
   }
   return 0;
 }

@@ -1,0 +1,78 @@
+#!/usr/bin/env bash
+# Run every reproduction bench in --json mode and aggregate the per-bench
+# results into one machine-readable report.
+#
+#   scripts/bench_report.sh                 # all benches -> BENCH_3.json
+#   OUT=/tmp/r.json scripts/bench_report.sh fig12_unit_cost fig13_load_sd
+#   BUILD_DIR=build-ninja scripts/bench_report.sh
+#
+# The report format is what bench/bench_gate_check.cc consumes:
+#   {"schema":1,"benches":[{"bench":"...","metrics":{...}}, ...]}
+# bench/baseline.json is simply a checked-in report from a known-good run
+# of the gate subset, so refreshing it after an intentional perf change is
+# rerunning this script with the gate's bench list.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=${BUILD_DIR:-build}
+OUT=${OUT:-BENCH_3.json}
+JOBS=${JOBS:-$(nproc 2>/dev/null || echo 4)}
+
+ALL_BENCHES=(
+  table1_regions table2_imbalance table3_cases
+  fig3_lag_effect fig4_event_cdf fig5_time_cdf fig7_nic_vs_cpu
+  fig11_probes fig11_cluster fig12_unit_cost fig13_load_sd
+  fig14_filter_ratio fig15_theta_sweep figA5_rules
+  table5_overhead analysis_cost appendixC_sandbox
+  ablation_filter_order ablation_bitmap_sync ablation_sched_placement
+  ablation_group_locality ablation_backend_pool ablation_user_dispatcher
+  ablation_closed_loop ablation_wakeup_policy ablation_two_level
+  ablation_syn_retry
+)
+if [ $# -gt 0 ]; then
+  BENCHES=("$@")
+else
+  BENCHES=("${ALL_BENCHES[@]}")
+fi
+
+if [ ! -d "$BUILD_DIR" ]; then
+  echo "==> configure $BUILD_DIR"
+  cmake -B "$BUILD_DIR" -S . >/dev/null
+fi
+echo "==> build ${#BENCHES[@]} benches"
+cmake --build "$BUILD_DIR" -j "$JOBS" --target "${BENCHES[@]}"
+
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+for b in "${BENCHES[@]}"; do
+  bin="$BUILD_DIR/bench/$b"
+  if [ ! -x "$bin" ]; then
+    echo "bench_report: missing binary $bin" >&2
+    exit 1
+  fi
+  echo "==> $b"
+  "$bin" --json "$tmp/$b.json" >"$tmp/$b.log" 2>&1 || {
+    echo "bench_report: $b failed; last lines of output:" >&2
+    tail -20 "$tmp/$b.log" >&2
+    exit 1
+  }
+  if [ ! -s "$tmp/$b.json" ]; then
+    echo "bench_report: $b produced no JSON" >&2
+    exit 1
+  fi
+done
+
+# Each per-bench file is a single-line JSON object; join with commas.
+{
+  printf '{"schema":1,"benches":[\n'
+  first=1
+  for b in "${BENCHES[@]}"; do
+    [ $first -eq 1 ] || printf ',\n'
+    first=0
+    tr -d '\n' <"$tmp/$b.json"
+  done
+  printf '\n]}\n'
+} >"$OUT"
+
+echo "==> wrote $OUT (${#BENCHES[@]} benches)"

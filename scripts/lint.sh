@@ -28,8 +28,15 @@ if [ ! -f "$BUILD_DIR/compile_commands.json" ]; then
 fi
 
 scope=${1:-}
-mapfile -t files < <(git ls-files '*.cc' | grep -v '^third_party/' |
-                     { [ -n "$scope" ] && grep "^$scope" || cat; })
+# Two explicit branches: the old `cond && grep || cat` pipeline silently
+# fell back to "all files" semantics on a no-match scope, and under
+# pipefail a no-match grep poisoned the whole pipeline's status.
+if [ -n "$scope" ]; then
+  mapfile -t files < <(git ls-files '*.cc' | grep -v '^third_party/' |
+                       { grep "^$scope" || true; })
+else
+  mapfile -t files < <(git ls-files '*.cc' | grep -v '^third_party/')
+fi
 if [ ${#files[@]} -eq 0 ]; then
   echo "lint: no files match '${scope}'"
   exit 0

@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Fast pre-push smoke: build, run the unit-label tests, and exercise the
+# simctl observability surface (metrics dump, trace dump, chrome trace
+# export). A few seconds on a warm build tree — run it before pushing;
+# CI runs the full sweep (scripts/check.sh) and the bench gate.
+#
+#   scripts/smoke.sh
+#   BUILD_DIR=build-ninja scripts/smoke.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=${BUILD_DIR:-build}
+JOBS=${JOBS:-$(nproc 2>/dev/null || echo 4)}
+
+if [ ! -d "$BUILD_DIR" ]; then
+  echo "==> configure $BUILD_DIR"
+  cmake -B "$BUILD_DIR" -S . >/dev/null
+fi
+echo "==> build"
+cmake --build "$BUILD_DIR" -j "$JOBS"
+
+echo "==> ctest -L unit"
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS" -L unit
+
+echo "==> simctl observability smoke"
+trace_json=$(mktemp --suffix=.json)
+trap 'rm -f "$trace_json"' EXIT
+"$BUILD_DIR/examples/simctl" --mode hermes --case 3 --seconds 2 \
+  --metrics --trace-dump 5 --trace-json "$trace_json" >/dev/null
+# The chrome trace must be non-empty valid JSON (jq if present).
+[ -s "$trace_json" ]
+if command -v jq >/dev/null 2>&1; then
+  jq -e '.traceEvents | length > 0' "$trace_json" >/dev/null
+fi
+
+echo "==> smoke passed"

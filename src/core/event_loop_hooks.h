@@ -20,6 +20,7 @@
 
 #include "core/fault_injection.h"
 #include "core/wst.h"
+#include "obs/metrics.h"
 #include "util/types.h"
 
 namespace hermes::core {
@@ -27,8 +28,9 @@ namespace hermes::core {
 class EventLoopHooks {
  public:
   EventLoopHooks(WorkerStatusTable wst, WorkerId self,
-                 FaultInjector* faults = nullptr)
-      : wst_(wst), self_(self), faults_(faults) {}
+                 FaultInjector* faults = nullptr,
+                 obs::PipelineMetrics* metrics = nullptr)
+      : wst_(wst), self_(self), faults_(faults), metrics_(metrics) {}
 
   WorkerId self() const { return self_; }
 
@@ -41,26 +43,40 @@ class EventLoopHooks {
       if (now < SimTime::zero()) return;
     }
     wst_.update_avail(self_, now);
+    if (metrics_ != nullptr) metrics_->wst_avail_updates->inc(self_);
   }
 
   // Fig. 9 line 14: epoll_wait returned `n` events.
   void on_events_returned(int64_t n) {
-    if (n > 0) wst_.add_pending(self_, n);
+    if (n > 0) {
+      wst_.add_pending(self_, n);
+      if (metrics_ != nullptr) metrics_->wst_pending_updates->inc(self_);
+    }
   }
 
   // Fig. 9 line 18: one event handled.
-  void on_event_processed() { wst_.add_pending(self_, -1); }
+  void on_event_processed() {
+    wst_.add_pending(self_, -1);
+    if (metrics_ != nullptr) metrics_->wst_pending_updates->inc(self_);
+  }
 
   // Fig. 9 line 25 / 37: connection accepted / closed.
-  void on_conn_open() { wst_.add_connections(self_, 1); }
-  void on_conn_close() { wst_.add_connections(self_, -1); }
+  void on_conn_open() {
+    wst_.add_connections(self_, 1);
+    if (metrics_ != nullptr) metrics_->wst_conn_updates->inc(self_);
+  }
+  void on_conn_close() {
+    wst_.add_connections(self_, -1);
+    if (metrics_ != nullptr) metrics_->wst_conn_updates->inc(self_);
+  }
 
   const WorkerStatusTable& wst() const { return wst_; }
 
  private:
   WorkerStatusTable wst_;
   WorkerId self_;
-  FaultInjector* faults_ = nullptr;  // nullable; not owned
+  FaultInjector* faults_ = nullptr;          // nullable; not owned
+  obs::PipelineMetrics* metrics_ = nullptr;  // nullable; not owned
 };
 
 }  // namespace hermes::core

@@ -33,9 +33,12 @@ HermesRuntime::HermesRuntime(const Options& opts)
         return WorkerStatusTable::init(mem, opts.num_workers);
       }()),
       faults_(opts.faults),
+      obs_(opts.obs),
       scheduler_(opts.config),
-      sel_map_(std::make_unique<bpf::ArrayMap>(num_groups_, sizeof(uint64_t))) {
+      sel_map_(std::make_unique<bpf::ArrayMap>(num_groups_, sizeof(uint64_t))),
+      last_sync_ns_(num_groups_) {
   HERMES_CHECK(num_workers_ > 0);
+  for (auto& t : last_sync_ns_) t.store(-1, std::memory_order_relaxed);
 }
 
 ScheduleResult HermesRuntime::schedule_and_sync(WorkerId self, SimTime now) {
@@ -48,15 +51,47 @@ ScheduleResult HermesRuntime::schedule_and_sync(WorkerId self, SimTime now) {
   ++counters_.schedules;
   counters_.workers_selected_sum += res.selected;
 
+  if (obs_ != nullptr) {
+    obs::PipelineMetrics& m = obs_->metrics;
+    m.filter_runs->inc(self);
+    m.filter_after_time->add(self, res.after_time);
+    m.filter_after_conn->add(self, res.after_conn);
+    m.filter_after_event->add(self, res.after_event);
+    m.filter_selected->record(self, res.selected);
+    if (res.selected < scheduler_.config().min_workers_for_dispatch) {
+      m.filter_low_survivor->inc(self);
+    }
+    // Stage survivor counts packed into one word (21 bits each is plenty
+    // for <=64-worker groups; the packing exists so one ring record carries
+    // the whole verdict).
+    const uint64_t packed = (static_cast<uint64_t>(res.after_time) << 42) |
+                            (static_cast<uint64_t>(res.after_conn) << 21) |
+                            static_cast<uint64_t>(res.after_event);
+    obs_->traces.write(self, obs::TraceType::FilterVerdict, now, res.selected,
+                       res.bitmap, packed);
+  }
+
   // Userspace -> kernel decision sync: one atomic 8-byte store into the
   // eBPF array map. Multiple workers may race here; last write wins, which
   // is exactly the paper's lock-free design (freshest status is best).
   if (faults_ != nullptr && !faults_->on_bitmap_sync(self, group, res.bitmap)) {
     ++counters_.syncs_dropped;
+    if (obs_ != nullptr) obs_->metrics.sync_dropped->inc(self);
     return res;
   }
   sel_map_->store_u64(group, res.bitmap);
   ++counters_.syncs;
+  if (obs_ != nullptr) {
+    obs_->metrics.sync_published->inc(self);
+    const int64_t prev =
+        last_sync_ns_[group].exchange(now.ns(), std::memory_order_relaxed);
+    const int64_t gap = prev >= 0 ? now.ns() - prev : 0;
+    if (prev >= 0 && gap >= 0) {
+      obs_->metrics.sync_gap_ns->record(self, static_cast<uint64_t>(gap));
+    }
+    obs_->traces.write(self, obs::TraceType::BitmapSync, now, group,
+                       res.bitmap, static_cast<uint64_t>(gap < 0 ? 0 : gap));
+  }
   return res;
 }
 

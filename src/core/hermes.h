@@ -17,6 +17,7 @@
 // dispatch program picks group-by-hash then worker-by-bitmap.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -30,6 +31,7 @@
 #include "core/fault_injection.h"
 #include "core/scheduler.h"
 #include "core/wst.h"
+#include "obs/observability.h"
 
 namespace hermes::core {
 
@@ -51,6 +53,9 @@ class HermesRuntime {
     // Optional fault-injection hooks (tests only; not owned). Null means
     // every hook site is a branch-not-taken.
     FaultInjector* faults = nullptr;
+    // Optional observability sinks (metrics + trace rings; not owned).
+    // Null disables all instrumentation at zero cost.
+    obs::Observability* obs = nullptr;
   };
 
   explicit HermesRuntime(const Options& opts);
@@ -68,7 +73,8 @@ class HermesRuntime {
 
   // Stage-1 instrumentation handle for a worker (Fig. 9).
   EventLoopHooks hooks_for(WorkerId w) {
-    return EventLoopHooks{wst_, w, faults_};
+    return EventLoopHooks{wst_, w, faults_,
+                          obs_ != nullptr ? &obs_->metrics : nullptr};
   }
 
   // Stage 2, executed by worker `self` at the end of its event loop:
@@ -100,11 +106,15 @@ class HermesRuntime {
   uint32_t num_groups_;
   std::vector<uint8_t> owned_wst_;  // empty when external memory is used
   WorkerStatusTable wst_;
-  FaultInjector* faults_;  // nullable; not owned
+  FaultInjector* faults_;       // nullable; not owned
+  obs::Observability* obs_;     // nullable; not owned
   Scheduler scheduler_;
   bpf::Vm vm_;
   std::unique_ptr<bpf::ArrayMap> sel_map_;
   Counters counters_;
+  // Per-group timestamp of the last completed sync, for the staleness
+  // histogram (sync.gap_ns). Atomic: syncs may race across worker threads.
+  std::vector<std::atomic<int64_t>> last_sync_ns_;
 };
 
 }  // namespace hermes::core

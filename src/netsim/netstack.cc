@@ -22,6 +22,7 @@ void NetStack::add_port(PortId port) {
     if (pending_prog_ != nullptr) {
       entry.rp_group->attach_program(pending_vm_, pending_prog_);
     }
+    if (obs_ != nullptr) entry.rp_group->set_metrics(&obs_->metrics);
   } else {
     entry.shared = std::make_unique<ListeningSocket>(port, cfg_.backlog);
   }
@@ -34,6 +35,15 @@ void NetStack::register_waiter(Waiter* w) {
                    "waiters only exist in shared-socket modes");
   for (auto& [port, entry] : ports_) {
     entry.shared->wait_queue().add(w);
+  }
+}
+
+void NetStack::set_obs(obs::Observability* obs) {
+  obs_ = obs;
+  for (auto& [port, entry] : ports_) {
+    if (entry.rp_group != nullptr) {
+      entry.rp_group->set_metrics(obs != nullptr ? &obs->metrics : nullptr);
+    }
   }
 }
 
@@ -57,9 +67,15 @@ Connection* NetStack::on_connection_request(const FourTuple& tuple,
   ListeningSocket* sock = nullptr;
   if (uses_per_worker_sockets(cfg_.mode)) {
     sock = entry.rp_group->select(tuple);
+    if (obs_ != nullptr) {
+      obs_->traces.write(sock->owner(), obs::TraceType::Dispatch, now,
+                         sock->owner(), skb_hash(tuple), port);
+    }
   } else {
     sock = entry.shared.get();
   }
+  // Shared sockets have no owning worker; account those on shard 0.
+  const WorkerId shard = sock->owner() == kInvalidWorker ? 0 : sock->owner();
 
   auto conn = std::make_unique<Connection>();
   conn->id = next_conn_id_++;
@@ -71,10 +87,21 @@ Connection* NetStack::on_connection_request(const FourTuple& tuple,
 
   if (!sock->accept_queue().push(raw)) {
     ++stats_.drops;
+    if (obs_ != nullptr) {
+      obs_->metrics.accept_dropped->inc(shard);
+      obs_->traces.write(shard, obs::TraceType::Drop, now, port, raw->id,
+                         sock->accept_queue().size());
+    }
     return nullptr;  // SYN dropped: backlog overflow
   }
   conns_.emplace(raw->id, std::move(conn));
   ++stats_.connections;
+  if (obs_ != nullptr) {
+    obs_->metrics.accept_enqueued->inc(shard);
+    obs_->metrics.accept_depth->record(shard, sock->accept_queue().size());
+    obs_->traces.write(shard, obs::TraceType::Accept, now, port, raw->id,
+                       sock->accept_queue().size());
+  }
 
   if (uses_per_worker_sockets(cfg_.mode)) {
     // The owning worker's epoll reports the socket readable.

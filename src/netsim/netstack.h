@@ -16,6 +16,7 @@
 #include "netsim/listening_socket.h"
 #include "netsim/reuseport.h"
 #include "netsim/wait_queue.h"
+#include "obs/observability.h"
 #include "util/types.h"
 
 namespace hermes::netsim {
@@ -79,6 +80,11 @@ class NetStack {
   // Hermes attachment (per-port groups all share one program).
   void attach_bpf(const bpf::Vm* vm, const bpf::LoadedProgram* prog);
 
+  // Observability sinks (nullable; not owned). Applies to already-bound
+  // ports and to every port bound afterwards. Instruments socket selection
+  // (dispatch picks/fallbacks) and the accept queues (depth, drops).
+  void set_obs(obs::Observability* obs);
+
   // --- data path -------------------------------------------------------
   // A SYN arrives (handshake is modeled as instantaneous; the paper's
   // phenomena live after the handshake). Returns the connection, or nullptr
@@ -124,6 +130,7 @@ class NetStack {
   SocketReadyFn socket_ready_;
   const bpf::Vm* pending_vm_ = nullptr;
   const bpf::LoadedProgram* pending_prog_ = nullptr;
+  obs::Observability* obs_ = nullptr;  // nullable; not owned
   Stats stats_;
 };
 

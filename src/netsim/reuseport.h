@@ -16,6 +16,7 @@
 #include "bpf/vm.h"
 #include "netsim/four_tuple.h"
 #include "netsim/listening_socket.h"
+#include "obs/metrics.h"
 #include "util/check.h"
 
 namespace hermes::netsim {
@@ -59,10 +60,14 @@ class ReuseportGroup {
   };
   const SelectStats& stats() const { return stats_; }
 
+  // Observability sink for dispatch decisions (nullable; not owned).
+  void set_metrics(obs::PipelineMetrics* m) { metrics_ = m; }
+
   // Socket selection for an incoming SYN.
   ListeningSocket* select(const FourTuple& tuple) {
     HERMES_CHECK_MSG(!sockets_.empty(), "reuseport group has no sockets");
     const uint32_t hash = skb_hash(tuple);
+    ListeningSocket* picked = nullptr;
     if (prog_ != nullptr) {
       bpf::ReuseportCtx ctx;
       ctx.hash = hash;
@@ -73,16 +78,27 @@ class ReuseportGroup {
       if (run.ret == bpf::kRetUseSelection && ctx.selection_made) {
         if (ListeningSocket* s = by_cookie(ctx.selected_socket)) {
           ++stats_.bpf_selections;
-          return s;
+          if (metrics_ != nullptr) metrics_->dispatch_bpf->inc(0);
+          picked = s;
         }
       }
-      ++stats_.bpf_fallbacks;
+      if (picked == nullptr) {
+        // The program declined: survivor set below the dispatch minimum
+        // (Algo. 2 line 4) — the kernel falls back to reuseport hashing.
+        ++stats_.bpf_fallbacks;
+        if (metrics_ != nullptr) metrics_->dispatch_fallback->inc(0);
+      }
     } else {
       ++stats_.hash_selections;
+      if (metrics_ != nullptr) metrics_->dispatch_hash->inc(0);
     }
-    const uint32_t idx =
-        reciprocal_scale(hash, static_cast<uint32_t>(sockets_.size()));
-    return sockets_[idx];
+    if (picked == nullptr) {
+      const uint32_t idx =
+          reciprocal_scale(hash, static_cast<uint32_t>(sockets_.size()));
+      picked = sockets_[idx];
+    }
+    if (metrics_ != nullptr) metrics_->dispatch_picks->inc(picked->owner());
+    return picked;
   }
 
  private:
@@ -91,6 +107,7 @@ class ReuseportGroup {
   std::unordered_map<uint64_t, ListeningSocket*> by_cookie_;
   const bpf::Vm* vm_ = nullptr;
   const bpf::LoadedProgram* prog_ = nullptr;
+  obs::PipelineMetrics* metrics_ = nullptr;  // nullable; not owned
   SelectStats stats_;
 };
 

@@ -1,0 +1,119 @@
+// Minimal JSON writer shared by the observability exporters and the bench
+// harness's --json mode. Emission only — the bench-regression gate has its
+// own tiny parser (bench/bench_gate_check.cc) for the flat numeric files
+// this writer produces.
+//
+// Numbers are printed with %.12g: enough digits that the deterministic sim
+// metrics round-trip exactly, short enough that files stay readable.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+namespace hermes::obs {
+
+inline void json_escape(const std::string& s, std::string& out) {
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+inline std::string json_number(double v) {
+  if (!std::isfinite(v)) return "null";  // JSON has no inf/nan
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.12g", v);
+  return buf;
+}
+
+// Append-style writer for objects/arrays; tracks comma placement so call
+// sites stay linear. Scopes must be closed in LIFO order by the caller.
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::string* out) : out_(out) {}
+
+  void begin_object() { open('{'); }
+  void end_object() { close('}'); }
+  void begin_array() { open('['); }
+  void end_array() { close(']'); }
+
+  void key(const std::string& k) {
+    comma();
+    *out_ += '"';
+    json_escape(k, *out_);
+    *out_ += "\":";
+    just_keyed_ = true;
+  }
+
+  void value(double v) {
+    comma();
+    *out_ += json_number(v);
+  }
+  void value(uint64_t v) {
+    comma();
+    *out_ += std::to_string(v);
+  }
+  void value(int64_t v) {
+    comma();
+    *out_ += std::to_string(v);
+  }
+  void value(const std::string& s) {
+    comma();
+    *out_ += '"';
+    json_escape(s, *out_);
+    *out_ += '"';
+  }
+  void value_raw(const std::string& json) {
+    comma();
+    *out_ += json;
+  }
+
+  // key + scalar in one call, the common case.
+  template <typename T>
+  void field(const std::string& k, T v) {
+    key(k);
+    value(v);
+  }
+
+ private:
+  void open(char c) {
+    comma();
+    *out_ += c;
+    need_comma_ = false;
+  }
+  void close(char c) {
+    *out_ += c;
+    need_comma_ = true;
+    just_keyed_ = false;
+  }
+  void comma() {
+    if (just_keyed_) {
+      just_keyed_ = false;
+      need_comma_ = true;  // next sibling at this level needs one
+      return;
+    }
+    if (need_comma_) *out_ += ',';
+    need_comma_ = true;
+  }
+
+  std::string* out_;
+  bool need_comma_ = false;
+  bool just_keyed_ = false;
+};
+
+}  // namespace hermes::obs

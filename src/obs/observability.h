@@ -1,0 +1,26 @@
+// The observability facade: one registry + the pipeline's named metric set
+// + per-worker trace rings, bundled so every layer can be handed a single
+// nullable pointer. A null Observability* means every instrumentation site
+// is a branch-not-taken — the same convention as core::FaultInjector.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "obs/metrics.h"
+#include "obs/trace_ring.h"
+
+namespace hermes::obs {
+
+struct Observability {
+  explicit Observability(uint32_t workers, size_t ring_capacity = 4096)
+      : registry(workers),
+        metrics(registry, workers),
+        traces(workers, ring_capacity) {}
+
+  Registry registry;
+  PipelineMetrics metrics;
+  TraceBuffer traces;
+};
+
+}  // namespace hermes::obs

@@ -1,0 +1,133 @@
+#include "obs/trace_ring.h"
+
+#include <algorithm>
+#include <array>
+#include <bit>
+#include <cstdio>
+
+#include "obs/json.h"
+
+namespace hermes::obs {
+
+const char* to_string(TraceType t) {
+  switch (t) {
+    case TraceType::Dispatch: return "dispatch";
+    case TraceType::FilterVerdict: return "filter";
+    case TraceType::BitmapSync: return "sync";
+    case TraceType::Accept: return "accept";
+    case TraceType::Drop: return "drop";
+    case TraceType::RequestDone: return "request_done";
+  }
+  return "?";
+}
+
+TraceRing::TraceRing(size_t capacity) : cap_(std::bit_ceil(capacity)) {
+  HERMES_CHECK(capacity > 0);
+  words_ = std::make_unique<std::atomic<uint64_t>[]>(cap_ * kWords);
+  for (size_t i = 0; i < cap_ * kWords; ++i) {
+    words_[i].store(0, std::memory_order_relaxed);
+  }
+}
+
+std::vector<TraceEvent> TraceRing::snapshot() const {
+  const uint64_t h1 = head_.load(std::memory_order_acquire);
+  const uint64_t lo = h1 > cap_ ? h1 - cap_ : 0;
+  std::vector<std::array<uint64_t, kWords>> raw;
+  raw.reserve(static_cast<size_t>(h1 - lo));
+  for (uint64_t i = lo; i < h1; ++i) {
+    const size_t base = (i & (cap_ - 1)) * kWords;
+    std::array<uint64_t, kWords> rec;
+    for (size_t wdx = 0; wdx < kWords; ++wdx) {
+      rec[wdx] = words_[base + wdx].load(std::memory_order_relaxed);
+    }
+    raw.push_back(rec);
+  }
+  // Seqlock validation: a record at index i is intact only if no write to
+  // index i+cap has started. The writer publishes head after each record
+  // and pre-writes at most index h2, so everything with i + cap <= h2 must
+  // be discarded as possibly overwritten mid-copy.
+  const uint64_t h2 = head_.load(std::memory_order_acquire);
+  const uint64_t safe_lo = h2 >= cap_ ? h2 - cap_ + 1 : 0;
+  std::vector<TraceEvent> out;
+  out.reserve(raw.size());
+  for (uint64_t i = lo; i < h1; ++i) {
+    if (i < safe_lo) continue;
+    const auto& rec = raw[static_cast<size_t>(i - lo)];
+    TraceEvent ev;
+    ev.t_ns = static_cast<int64_t>(rec[0]);
+    ev.type = static_cast<uint16_t>(rec[1] & 0xffff);
+    ev.worker = static_cast<uint16_t>((rec[1] >> 16) & 0xffff);
+    ev.a = static_cast<uint32_t>(rec[1] >> 32);
+    ev.b = rec[2];
+    ev.c = rec[3];
+    out.push_back(ev);
+  }
+  return out;
+}
+
+TraceBuffer::TraceBuffer(uint32_t workers, size_t capacity) {
+  HERMES_CHECK(workers > 0);
+  rings_.reserve(workers);
+  for (uint32_t w = 0; w < workers; ++w) {
+    rings_.push_back(std::make_unique<TraceRing>(capacity));
+  }
+}
+
+std::vector<TraceEvent> TraceBuffer::merged_snapshot() const {
+  std::vector<TraceEvent> all;
+  for (const auto& r : rings_) {
+    const auto part = r->snapshot();
+    all.insert(all.end(), part.begin(), part.end());
+  }
+  std::sort(all.begin(), all.end(), [](const TraceEvent& x, const TraceEvent& y) {
+    if (x.t_ns != y.t_ns) return x.t_ns < y.t_ns;
+    return x.worker < y.worker;
+  });
+  return all;
+}
+
+std::string to_chrome_trace(const std::vector<TraceEvent>& events) {
+  std::string out;
+  JsonWriter w(&out);
+  w.begin_object();
+  w.key("traceEvents");
+  w.begin_array();
+  for (const TraceEvent& ev : events) {
+    w.begin_object();
+    w.field("name", std::string(to_string(static_cast<TraceType>(ev.type))));
+    w.field("ph", std::string("i"));
+    w.field("s", std::string("t"));  // instant-event scope: thread
+    // chrome://tracing timestamps are microseconds (fractional ok).
+    w.field("ts", static_cast<double>(ev.t_ns) / 1e3);
+    w.field("pid", uint64_t{0});
+    w.field("tid", static_cast<uint64_t>(ev.worker));
+    w.key("args");
+    w.begin_object();
+    w.field("a", static_cast<uint64_t>(ev.a));
+    w.field("b", ev.b);
+    w.field("c", ev.c);
+    w.end_object();
+    w.end_object();
+  }
+  w.end_array();
+  w.field("displayTimeUnit", std::string("ms"));
+  w.end_object();
+  return out;
+}
+
+std::string to_text(const std::vector<TraceEvent>& events) {
+  std::string out;
+  char buf[160];
+  for (const TraceEvent& ev : events) {
+    std::snprintf(buf, sizeof(buf),
+                  "%12.6fms w%-3u %-12s a=%-10u b=0x%-16llx c=%llu\n",
+                  static_cast<double>(ev.t_ns) / 1e6, ev.worker,
+                  to_string(static_cast<TraceType>(ev.type)), ev.a,
+                  static_cast<unsigned long long>(ev.b),
+                  static_cast<unsigned long long>(ev.c));
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace hermes::obs

@@ -20,6 +20,13 @@ netsim::NetStack::Config netstack_config(const LbDevice::Config& cfg) {
 
 LbDevice::LbDevice(Config cfg)
     : cfg_(cfg), rng_(cfg.seed), ns_(netstack_config(cfg)) {
+  if (cfg_.observability) {
+    obs_ = std::make_unique<obs::Observability>(cfg_.num_workers,
+                                                cfg_.trace_ring_capacity);
+    obs_req_latency_ = &obs_->registry.histogram("request.latency_ns",
+                                                 cfg_.num_workers, 3);
+    ns_.set_obs(obs_.get());
+  }
   // Ports first (sockets exist before workers attach).
   for (uint32_t p = 0; p < cfg_.num_ports; ++p) {
     ns_.add_port(static_cast<PortId>(cfg_.first_port + p));
@@ -30,6 +37,7 @@ LbDevice::LbDevice(Config cfg)
     opts.config = cfg_.hermes;
     opts.num_workers = cfg_.num_workers;
     opts.faults = cfg_.faults;
+    opts.obs = obs_.get();
     hermes_.emplace(opts);
     hermes_->vm().set_time_fn(
         [this] { return static_cast<uint64_t>(eq_.now().ns()); });
@@ -345,6 +353,12 @@ void LbDevice::on_request_done(Worker& w, const Request& req) {
   const SimTime latency = eq_.now() - req.arrival;
   latency_.record(latency);
   window_latency_.record(latency);
+  if (obs_) {
+    obs_req_latency_->record(w.id(), static_cast<uint64_t>(latency.ns()));
+    obs_->traces.write(w.id(), obs::TraceType::RequestDone, eq_.now(),
+                       req.tenant, req.conn,
+                       static_cast<uint64_t>(latency.ns()));
+  }
   if (request_done_) request_done_(req.tenant, latency);
 
   auto it = conns_.find(req.conn);

@@ -11,6 +11,7 @@
 #include "core/degradation.h"
 #include "core/hermes.h"
 #include "netsim/netstack.h"
+#include "obs/observability.h"
 #include "simcore/event_queue.h"
 #include "simcore/histogram.h"
 #include "simcore/rng.h"
@@ -41,6 +42,11 @@ class LbDevice {
     // Fault-injection hooks for the embedded Hermes runtime (torture tests;
     // not owned, may be null). See core/fault_injection.h.
     core::FaultInjector* faults = nullptr;
+    // Observability: metrics registry + per-worker trace rings across the
+    // dispatch pipeline (src/obs). On by default — Table 5's claim is that
+    // the instrumentation is cheap enough to leave on.
+    bool observability = true;
+    size_t trace_ring_capacity = 4096;
   };
 
   explicit LbDevice(Config cfg);
@@ -50,6 +56,8 @@ class LbDevice {
   Rng& rng() { return rng_; }
   netsim::NetStack& netstack() { return ns_; }
   core::HermesRuntime* hermes() { return hermes_ ? &*hermes_ : nullptr; }
+  // The device's observability layer (null when Config::observability off).
+  obs::Observability* obs() { return obs_.get(); }
   Dispatcher* dispatcher() { return dispatcher_ ? &*dispatcher_ : nullptr; }
   Worker& worker(WorkerId w) { return *workers_[w]; }
   uint32_t num_workers() const { return cfg_.num_workers; }
@@ -176,6 +184,8 @@ class LbDevice {
   Config cfg_;
   EventQueue eq_;
   Rng rng_;
+  std::unique_ptr<obs::Observability> obs_;
+  obs::LogHistogram* obs_req_latency_ = nullptr;  // request.latency_ns
   netsim::NetStack ns_;
   std::optional<core::HermesRuntime> hermes_;
   std::optional<core::DegradationPolicy> degradation_;
