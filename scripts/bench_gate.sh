@@ -14,6 +14,8 @@
 #   fig13_load_sd     the Fig. 13 SD table (full sim pipeline, all modes)
 #   table5_overhead   component CPU shares + obs_overhead_pct (< 5% budget)
 #   analysis_cost     verifier cost table (abstract-interpreter behavior)
+#   dispatch_path     per-tier eBPF dispatch cost; gates the deterministic
+#                     plan shape and insns/fused/elided-per-dispatch rates
 # Comparison policy (tolerances, wall-clock exclusions) lives in
 # bench/bench_gate_check.cc.
 set -euo pipefail
@@ -21,7 +23,8 @@ cd "$(dirname "$0")/.."
 
 BUILD_DIR=${BUILD_DIR:-build}
 BASELINE=${BASELINE:-bench/baseline.json}
-GATE_BENCHES=(fig12_unit_cost fig13_load_sd table5_overhead analysis_cost)
+GATE_BENCHES=(fig12_unit_cost fig13_load_sd table5_overhead analysis_cost
+              dispatch_path)
 
 refresh=0
 if [ "${1:-}" = "--refresh" ]; then

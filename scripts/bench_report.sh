@@ -23,7 +23,7 @@ ALL_BENCHES=(
   fig3_lag_effect fig4_event_cdf fig5_time_cdf fig7_nic_vs_cpu
   fig11_probes fig11_cluster fig12_unit_cost fig13_load_sd
   fig14_filter_ratio fig15_theta_sweep figA5_rules
-  table5_overhead analysis_cost appendixC_sandbox
+  table5_overhead analysis_cost dispatch_path appendixC_sandbox
   ablation_filter_order ablation_bitmap_sync ablation_sched_placement
   ablation_group_locality ablation_backend_pool ablation_user_dispatcher
   ablation_closed_loop ablation_wakeup_policy ablation_two_level

@@ -43,6 +43,21 @@ run_suite() {
   cmake --build "$dir" -j "$JOBS"
   echo "==> ctest ${dir} -L '${LABELS}'"
   ctest --test-dir "$dir" --output-on-failure -j "$JOBS" -L "$LABELS"
+  run_tier_sweep "$dir"
+}
+
+# eBPF execution-tier sweep: the suite above ran at the default tier
+# (HERMES_BPF_TIER unset = 2, check elision). Re-run the bpf-labeled
+# suites pinned to the reference interpreter (0) and the threaded plan (1)
+# so every tier keeps identical semantics; under a sanitizer tree this is
+# also what would catch an unsoundly elided bounds check.
+run_tier_sweep() {
+  local dir=$1
+  for tier in 0 1; do
+    echo "==> ctest ${dir} -L bpf (HERMES_BPF_TIER=$tier)"
+    HERMES_BPF_TIER=$tier \
+      ctest --test-dir "$dir" --output-on-failure -j "$JOBS" -L bpf
+  done
 }
 
 # TSan preset: only the suites that exercise cross-thread code (the WST

@@ -262,6 +262,7 @@ class Analyzer {
     res.ret_reachable = ret_reachable_;
     res.ret = ret_;
     for (auto& [pc, info] : helpers_) res.helper_calls.push_back(info);
+    for (auto& [pc, info] : mem_facts_) res.mem_accesses.push_back(info);
     return res;
   }
 
@@ -790,6 +791,7 @@ class Analyzer {
             !e.empty()) {
           return e;
         }
+        record_mem_fact(pc, regs[in.src].kind);
         RegState loaded = RegState::scalar(size_bounded(size));
         if (regs[in.src].kind == Kind::PtrStack && abs_lo == abs_last) {
           loaded = load_stack(out, abs_lo, size);
@@ -823,6 +825,7 @@ class Analyzer {
             !e.empty()) {
           return e;
         }
+        record_mem_fact(pc, regs[in.dst].kind);
         if (to_stack) {
           if (abs_lo != abs_last) {
             // Variable-offset store: weak update over the whole span.
@@ -851,6 +854,7 @@ class Analyzer {
             !e.empty()) {
           return e;
         }
+        record_mem_fact(pc, regs[in.dst].kind);
         if (regs[in.dst].kind == Kind::PtrStack) {
           if (abs_lo != abs_last) {
             clobber_cells(out, abs_lo, abs_last, size);
@@ -1069,6 +1073,19 @@ class Analyzer {
   std::vector<size_t> header_end_;
   std::vector<LoopFrame*> frames_;
 
+  // Join of bounds-check outcomes per visited memory-access pc. Every
+  // recorded visit passed check_mem (failure rejects the program), so a
+  // fact stays `proven` unless later visits see a different base kind —
+  // which join_reg's kind-mismatch collapse makes unreachable in practice,
+  // but the elision consumer must not have to rely on that.
+  void record_mem_fact(size_t pc, Kind base_kind) {
+    auto [it, inserted] =
+        mem_facts_.try_emplace(pc, MemAccessInfo{pc, base_kind, true});
+    if (!inserted && it->second.base_kind != base_kind) {
+      it->second.proven = false;
+    }
+  }
+
   uint64_t steps_ = 0;
   size_t dead_edges_ = 0;
   uint32_t max_trips_ = 0;
@@ -1076,6 +1093,7 @@ class Analyzer {
   bool ret_reachable_ = false;
   ValueRange ret_;
   std::map<size_t, HelperCallInfo> helpers_;
+  std::map<size_t, MemAccessInfo> mem_facts_;
 };
 
 }  // namespace

@@ -108,6 +108,19 @@ struct HelperCallInfo {
   ValueRange key;
 };
 
+// Per-pc fact about a load/store: which region kind the base pointer had,
+// and whether every visit of this pc passed the abstract bounds check with
+// a consistent base kind. In an accepted program every *visited* access is
+// bounds-proven by construction (a failing check rejects the program), so
+// `proven` is the license the tiered VM (bpf/plan.h) uses to elide the
+// runtime check at that pc. Range-dead accesses are never visited and get
+// no entry — the plan compiler keeps the checked micro-op there.
+struct MemAccessInfo {
+  size_t pc = 0;
+  Kind base_kind = Kind::Uninit;
+  bool proven = false;
+};
+
 struct AnalysisResult {
   bool ok = false;
   std::string error;
@@ -122,6 +135,7 @@ struct AnalysisResult {
   bool ret_reachable = false;
   ValueRange ret;  // join of r0 over all reachable exits
   std::vector<HelperCallInfo> helper_calls;  // one entry per visited Call pc
+  std::vector<MemAccessInfo> mem_accesses;   // one entry per visited ld/st pc
 
   explicit operator bool() const { return ok; }
 };

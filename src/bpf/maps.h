@@ -127,4 +127,17 @@ class ReuseportSockArray final : public Map {
   std::vector<std::atomic<uint64_t>> slots_;
 };
 
+// Tag-checked downcasts for the dispatch hot path. Both concrete map
+// classes are final, so a MapType check licenses a static_cast — no RTTI
+// lookup per dispatch.
+inline ArrayMap* as_array_map(Map* m) {
+  return m != nullptr && m->type() == MapType::Array ? static_cast<ArrayMap*>(m)
+                                                     : nullptr;
+}
+inline ReuseportSockArray* as_sock_array(Map* m) {
+  return m != nullptr && m->type() == MapType::ReuseportSockArray
+             ? static_cast<ReuseportSockArray*>(m)
+             : nullptr;
+}
+
 }  // namespace hermes::bpf

@@ -35,6 +35,7 @@ VerifyResult verify(const Program& prog, std::span<Map* const> maps,
   res.max_loop_trips = a.max_loop_trips;
   if (a) {
     res.ok = true;
+    res.analysis = std::move(a);
     return res;
   }
 

@@ -60,6 +60,12 @@ struct VerifyResult {
   size_t dead_edges = 0;      // branch edges proven infeasible
   uint32_t max_loop_trips = 0;  // deepest per-loop iteration proof needed
 
+  // The full abstract-interpretation result. On success this carries the
+  // per-callsite helper facts and per-pc memory-access proofs that the
+  // tiered execution engine (bpf/plan.h) compiles against — Tier 2's check
+  // elision is licensed exclusively by these facts.
+  analysis::AnalysisResult analysis;
+
   explicit operator bool() const { return ok; }
 };
 

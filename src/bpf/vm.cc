@@ -8,11 +8,6 @@ namespace hermes::bpf {
 
 namespace {
 
-struct MemRegion {
-  uint8_t* base;
-  size_t size;
-};
-
 bool in_region(const MemRegion& r, const uint8_t* p, size_t n) {
   return p >= r.base && p + n <= r.base + r.size;
 }
@@ -29,10 +24,38 @@ std::unique_ptr<LoadedProgram> Vm::load(Program prog, std::vector<Map*> maps,
   auto lp = std::unique_ptr<LoadedProgram>(new LoadedProgram);
   lp->prog_ = std::move(prog);
   lp->maps_ = std::move(maps);
+  // Hoist region discovery out of run(): the array-map backing stores are
+  // fixed for the lifetime of the load, so resolve them once here instead
+  // of allocating a region vector per dispatch.
+  for (Map* m : lp->maps_) {
+    if (ArrayMap* am = as_array_map(m)) {
+      lp->map_regions_.push_back({am->storage_base(), am->storage_bytes()});
+    }
+  }
+  lp->tier_ = tier_;
+  if (tier_ != ExecTier::Interp) {
+    lp->plan_ = compile_plan(lp->prog_, lp->maps_, &vr.analysis, tier_);
+  }
   return lp;
 }
 
 Vm::RunResult Vm::run(const LoadedProgram& lp, ReuseportCtx& ctx) const {
+  if (lp.plan_ != nullptr) {
+    ExecutionPlan::ExecResult er = lp.plan_->execute(ctx, time_fn_, rand_fn_);
+    total_insns_ += er.insns_executed;
+    RunResult res;
+    res.ret = er.ret;
+    res.insns_executed = er.insns_executed;
+    res.tier = lp.tier_;
+    res.fused_hits = er.fused_hits;
+    res.elided_checks = er.elided_checks;
+    return res;
+  }
+  return run_interp(lp, ctx);
+}
+
+Vm::RunResult Vm::run_interp(const LoadedProgram& lp,
+                             ReuseportCtx& ctx) const {
   alignas(8) uint8_t stack[kStackSize] = {};
   uint64_t regs[kNumRegs] = {};
   regs[1] = reinterpret_cast<uint64_t>(&ctx);
@@ -42,18 +65,17 @@ Vm::RunResult Vm::run(const LoadedProgram& lp, ReuseportCtx& ctx) const {
   std::span<Map* const> maps = lp.maps();
 
   // Valid memory regions for runtime checking: stack, the readable context
-  // prefix, and every array map's backing store.
-  std::vector<MemRegion> regions;
-  regions.push_back({stack, kStackSize});
-  regions.push_back({reinterpret_cast<uint8_t*>(&ctx), kCtxReadableBytes});
-  for (Map* m : maps) {
-    if (auto* am = dynamic_cast<ArrayMap*>(m)) {
-      regions.push_back({am->storage_base(), am->storage_bytes()});
-    }
-  }
+  // prefix, and every array map's backing store (the latter precomputed at
+  // load time — no allocation on the dispatch path).
+  const MemRegion stack_region{stack, kStackSize};
+  const MemRegion ctx_region{reinterpret_cast<uint8_t*>(&ctx),
+                             kCtxReadableBytes};
+  std::span<const MemRegion> map_regions = lp.map_regions_;
   auto check_access = [&](uint64_t addr, size_t n) -> uint8_t* {
     auto* p = reinterpret_cast<uint8_t*>(addr);
-    for (const auto& r : regions) {
+    if (in_region(stack_region, p, n)) return p;
+    if (in_region(ctx_region, p, n)) return p;
+    for (const auto& r : map_regions) {
       if (in_region(r, p, n)) return p;
     }
     HERMES_CHECK_MSG(false, "bpf vm: runtime memory access violation");
@@ -273,7 +295,7 @@ Vm::RunResult Vm::run(const LoadedProgram& lp, ReuseportCtx& ctx) const {
         switch (static_cast<HelperId>(in.imm)) {
           case HelperId::MapLookupElem: {
             auto* m = reinterpret_cast<Map*>(regs[1]);
-            auto* am = dynamic_cast<ArrayMap*>(m);
+            ArrayMap* am = as_array_map(m);
             HERMES_CHECK(am != nullptr);
             uint32_t key;
             std::memcpy(&key, check_access(regs[2], 4), 4);
@@ -283,7 +305,7 @@ Vm::RunResult Vm::run(const LoadedProgram& lp, ReuseportCtx& ctx) const {
           }
           case HelperId::MapUpdateElem: {
             auto* m = reinterpret_cast<Map*>(regs[1]);
-            auto* am = dynamic_cast<ArrayMap*>(m);
+            ArrayMap* am = as_array_map(m);
             HERMES_CHECK(am != nullptr);
             uint32_t key;
             std::memcpy(&key, check_access(regs[2], 4), 4);
@@ -294,7 +316,7 @@ Vm::RunResult Vm::run(const LoadedProgram& lp, ReuseportCtx& ctx) const {
           case HelperId::SkSelectReuseport: {
             auto* rc = reinterpret_cast<ReuseportCtx*>(regs[1]);
             auto* m = reinterpret_cast<Map*>(regs[2]);
-            auto* sa = dynamic_cast<ReuseportSockArray*>(m);
+            ReuseportSockArray* sa = as_sock_array(m);
             HERMES_CHECK(sa != nullptr);
             uint32_t key;
             std::memcpy(&key, check_access(regs[3], 4), 4);
@@ -322,6 +344,7 @@ Vm::RunResult Vm::run(const LoadedProgram& lp, ReuseportCtx& ctx) const {
 
       case Op::Exit:
         res.ret = regs[0];
+        res.tier = ExecTier::Interp;
         total_insns_ += res.insns_executed;
         return res;
     }

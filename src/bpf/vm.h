@@ -5,6 +5,11 @@
 // zeroed stack per run, helpers dispatched by id, hard instruction budget.
 // Loads/stores are additionally bounds-checked at runtime (defense in depth
 // on top of the verifier; a violation is a bug in this repo, so it aborts).
+//
+// Execution is tiered (see bpf/plan.h): load() verifies once, precomputes
+// the valid memory regions, and — for tiers above Interp — compiles the
+// program into a cached ExecutionPlan. run() then dispatches through the
+// plan when one exists; results are bit-identical across tiers.
 #pragma once
 
 #include <cstdint>
@@ -15,6 +20,7 @@
 
 #include "bpf/insn.h"
 #include "bpf/maps.h"
+#include "bpf/plan.h"
 #include "bpf/verifier.h"
 
 namespace hermes::bpf {
@@ -25,10 +31,19 @@ class LoadedProgram {
   const Program& insns() const { return prog_; }
   std::span<Map* const> maps() const { return maps_; }
 
+  // Tier this program was compiled for; plan() is null iff tier is Interp.
+  ExecTier tier() const { return tier_; }
+  const ExecutionPlan* plan() const { return plan_.get(); }
+
  private:
   friend class Vm;
   Program prog_;
   std::vector<Map*> maps_;
+  // Array-map backing stores, resolved at load time so Tier 0 runs never
+  // allocate or dynamic_cast (stack + ctx regions are per-run locals).
+  std::vector<MemRegion> map_regions_;
+  ExecTier tier_ = ExecTier::Interp;
+  std::unique_ptr<ExecutionPlan> plan_;
 };
 
 class Vm {
@@ -38,17 +53,28 @@ class Vm {
   using TimeFn = std::function<uint64_t()>;
   using RandFn = std::function<uint32_t()>;
 
-  Vm() = default;
+  // A fresh Vm starts at default_tier() (HERMES_BPF_TIER env override,
+  // else Tier 2).
+  Vm() : tier_(default_tier()) {}
   void set_time_fn(TimeFn fn) { time_fn_ = std::move(fn); }
   void set_rand_fn(RandFn fn) { rand_fn_ = std::move(fn); }
 
-  // Verify + bind maps. Returns nullptr and fills `error` on rejection.
+  // Tier for subsequently loaded programs (already-loaded programs keep
+  // the plan they were compiled with).
+  ExecTier tier() const { return tier_; }
+  void set_tier(ExecTier t) { tier_ = t; }
+
+  // Verify + bind maps + compile the execution plan for the current tier.
+  // Returns nullptr and fills `error` on rejection.
   std::unique_ptr<LoadedProgram> load(Program prog, std::vector<Map*> maps,
                                       std::string* error = nullptr) const;
 
   struct RunResult {
     uint64_t ret = 0;          // r0 at exit
-    uint64_t insns_executed = 0;
+    uint64_t insns_executed = 0;  // source instructions; tier-invariant
+    ExecTier tier = ExecTier::Interp;  // tier that executed this run
+    uint32_t fused_hits = 0;      // fused micro-ops executed (tier >= 1)
+    uint32_t elided_checks = 0;   // unchecked accesses executed (tier 2)
   };
 
   // Run against a reuseport context. The program may call
@@ -60,8 +86,11 @@ class Vm {
   uint64_t total_insns() const { return total_insns_; }
 
  private:
+  RunResult run_interp(const LoadedProgram& prog, ReuseportCtx& ctx) const;
+
   TimeFn time_fn_;
   RandFn rand_fn_;
+  ExecTier tier_;
   mutable uint64_t total_insns_ = 0;
 };
 

@@ -9,6 +9,7 @@
 
 #include <functional>
 #include <memory>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
@@ -92,6 +93,16 @@ class NetStack {
   Connection* on_connection_request(const FourTuple& tuple, PortId port,
                                     TenantId tenant, SimTime now);
 
+  // A SYN burst: `tuples.size()` connection requests to one port at one
+  // timestamp. Socket selection goes through ReuseportGroup::select_batch,
+  // amortizing program/plan and metric-sink resolution across the burst;
+  // per-connection admission semantics match on_connection_request exactly.
+  // Returns the number established (drops excluded); when `out` is
+  // non-null it receives one entry per SYN, nullptr for drops.
+  size_t on_connection_burst(std::span<const FourTuple> tuples, PortId port,
+                             TenantId tenant, SimTime now,
+                             Connection** out = nullptr);
+
   // Worker-side accept() on a specific socket.
   Connection* accept(ListeningSocket& sock, WorkerId worker);
 
@@ -122,7 +133,14 @@ class NetStack {
     std::unique_ptr<ReuseportGroup> rp_group;
   };
 
+  // Admission path shared by the scalar and burst entries: everything
+  // after socket selection (connection creation, backlog push or drop,
+  // accounting, wakeup).
+  Connection* admit(const FourTuple& tuple, PortId port, TenantId tenant,
+                    SimTime now, ListeningSocket* sock);
+
   Config cfg_;
+  std::vector<ListeningSocket*> burst_socks_;  // select_batch scratch
   std::unordered_map<PortId, PortEntry> ports_;
   std::vector<PortId> port_order_;
   std::unordered_map<ConnId, std::unique_ptr<Connection>> conns_;

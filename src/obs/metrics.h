@@ -210,6 +210,13 @@ struct PipelineMetrics {
   Counter* dispatch_fallback;   // program ran but declined (<=1 survivor)
   Counter* dispatch_hash;       // no program attached (plain reuseport)
 
+  // Stage 3 — tiered eBPF execution engine (bpf/plan.h): which tier ran
+  // the dispatch program, and what its plan saved. Tier indexes match
+  // bpf::ExecTier.
+  Counter* bpf_tier_dispatches[3];  // runs per execution tier
+  Counter* bpf_fused_ops;           // superinstructions executed (tier >= 1)
+  Counter* bpf_elided_checks;       // bounds checks proven away (tier 2)
+
   // netsim accept queues.
   Counter* accept_enqueued;     // sharded by owning worker
   Counter* accept_dropped;      // backlog overflow, by owning worker

@@ -110,6 +110,31 @@ netsim::ConnId LbDevice::open_connection(TenantId tenant, ConnPlan plan) {
                                  /*attempt=*/0);
 }
 
+size_t LbDevice::open_connection_burst(TenantId tenant, const ConnPlan& plan,
+                                       size_t count) {
+  std::vector<netsim::FourTuple> tuples(count);
+  for (auto& tuple : tuples) {
+    tuple.saddr = static_cast<uint32_t>(rng_.next_u64());
+    tuple.daddr = 0x0a000001;
+    tuple.sport = static_cast<uint16_t>(1024 + rng_.next_below(60000));
+    tuple.dport = port_of(tenant);
+  }
+  std::vector<netsim::Connection*> accepted(count);
+  const size_t established = ns_.on_connection_burst(
+      tuples, port_of(tenant), tenant, eq_.now(), accepted.data());
+  totals_.conns_dropped += count - established;
+  for (netsim::Connection* conn : accepted) {
+    if (conn == nullptr) continue;
+    ++totals_.conns_opened;
+    LiveConn lc;
+    lc.conn = conn;
+    lc.plan = plan;
+    lc.syn_time = eq_.now();
+    conns_.emplace(conn->id, std::move(lc));
+  }
+  return established;
+}
+
 netsim::ConnId LbDevice::open_connection_attempt(TenantId tenant,
                                                  ConnPlan plan,
                                                  SimTime first_syn,

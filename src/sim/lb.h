@@ -82,6 +82,14 @@ class LbDevice {
   // ORIGINAL SYN, as the client experiences it).
   netsim::ConnId open_connection(TenantId tenant, ConnPlan plan);
 
+  // Open `count` connections for `tenant` as one SYN burst at the current
+  // sim time. Dispatch goes through the netstack's batched entry
+  // (ReuseportGroup::select_batch), amortizing program-plan and metric
+  // lookups across the burst. Burst drops are final — no SYN
+  // retransmission. Returns the number established.
+  size_t open_connection_burst(TenantId tenant, const ConnPlan& plan,
+                               size_t count);
+
   // Build a plan from a TrafficPattern (samples per-conn request count).
   ConnPlan plan_from_pattern(const TrafficPattern& p, TenantId tenant);
 

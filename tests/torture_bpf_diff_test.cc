@@ -13,10 +13,18 @@
 //     selection side effects, and final map contents — any divergence is a
 //     bug in one of the three components, pinned by the failing seed.
 //
+// Every accepted program runs under ALL execution tiers (bpf/plan.h):
+// tier 0 (reference switch interpreter), tier 1 (pre-decoded threaded
+// plan with superinstruction fusion), tier 2 (threaded + verifier-guided
+// check elision). Each tier gets an identically initialized world and must
+// match the reference interpreter byte-for-byte — including
+// insns_executed, which fused micro-ops must keep tier-invariant.
+//
 // One run covers >= 10,000 generated programs.
 #include <gtest/gtest.h>
 
 #include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -90,19 +98,21 @@ TEST(TortureBpfDiff, TenThousandProgramsNoTrapNoDivergence) {
     const Program prog = testing::gen_program(rng, kGen, &stats);
     const ReuseportCtx ctx0 = testing::gen_ctx(rng);
 
-    sim::Rng world_rng(seed ^ 0xabcdef);
-    World vm_world(world_rng);
+    sim::Rng gate_rng(seed ^ 0xabcdef);
+    World gate_world(gate_rng);
     sim::Rng world_rng2(seed ^ 0xabcdef);
     World ref_world(world_rng2);
 
-    // Verifier gate (Vm::load = verify + bind maps).
-    Vm vm;
-    std::string err;
-    auto loaded =
-        vm.load(prog, {&vm_world.array, &vm_world.socks}, &err);
-    if (loaded == nullptr) {
-      ++rejected;
-      continue;
+    // Verifier gate (Vm::load = verify + bind maps). Acceptance is
+    // tier-independent: the gate Vm just answers accept/reject.
+    {
+      Vm gate;
+      std::string err;
+      if (gate.load(prog, {&gate_world.array, &gate_world.socks}, &err) ==
+          nullptr) {
+        ++rejected;
+        continue;
+      }
     }
     ++accepted;
     if (stats.has_loop) ++accepted_with_loop;
@@ -120,28 +130,56 @@ TEST(TortureBpfDiff, TenThousandProgramsNoTrapNoDivergence) {
         << ref.trap_pc << " (seed=" << seed << ")\n"
         << disassemble(prog);
 
-    // VM run against the twin world.
-    uint64_t vm_t = 0, vm_r = 0;
-    vm.set_time_fn(counter_time(vm_t));
-    vm.set_rand_fn(counter_rand(vm_r));
-    ReuseportCtx vm_ctx = ctx0;
-    const Vm::RunResult got = vm.run(*loaded, vm_ctx);
+    // Every execution tier runs against its own identically initialized
+    // world and must match the reference byte-for-byte.
+    for (int t = 0; t < 3; ++t) {
+      const auto tier = static_cast<ExecTier>(t);
+      sim::Rng world_rng(seed ^ 0xabcdef);
+      World vm_world(world_rng);
+      Vm vm;
+      vm.set_tier(tier);
+      std::string err;
+      auto loaded =
+          vm.load(prog, {&vm_world.array, &vm_world.socks}, &err);
+      ASSERT_NE(loaded, nullptr)
+          << "tier " << t << " rejected a program tier-independent "
+          << "verification accepted (seed=" << seed << "): " << err;
 
-    ASSERT_EQ(got.ret, ref.ret) << "r0 divergence (seed=" << seed << ")\n"
-                                << disassemble(prog);
-    ASSERT_EQ(got.insns_executed, ref.insns_executed)
-        << "instruction-count divergence (seed=" << seed << ")\n"
-        << disassemble(prog);
-    ASSERT_EQ(vm_ctx.selection_made, ref_ctx.selection_made)
-        << "selection divergence (seed=" << seed << ")";
-    ASSERT_EQ(vm_ctx.selected_socket, ref_ctx.selected_socket)
-        << "selected-socket divergence (seed=" << seed << ")";
-    ASSERT_EQ(std::memcmp(vm_world.array.storage_base(),
-                          ref_world.array.storage_base(),
-                          vm_world.array.storage_bytes()),
-              0)
-        << "final map-content divergence (seed=" << seed << ")\n"
-        << disassemble(prog);
+      uint64_t vm_t = 0, vm_r = 0;
+      vm.set_time_fn(counter_time(vm_t));
+      vm.set_rand_fn(counter_rand(vm_r));
+      ReuseportCtx vm_ctx = ctx0;
+      const Vm::RunResult got = vm.run(*loaded, vm_ctx);
+
+      ASSERT_EQ(got.tier, tier);
+      ASSERT_EQ(got.ret, ref.ret)
+          << "r0 divergence at tier " << t << " (seed=" << seed << ")\n"
+          << disassemble(prog);
+      ASSERT_EQ(got.insns_executed, ref.insns_executed)
+          << "instruction-count divergence at tier " << t
+          << " (seed=" << seed << ")\n"
+          << disassemble(prog);
+      ASSERT_EQ(vm_ctx.selection_made, ref_ctx.selection_made)
+          << "selection divergence at tier " << t << " (seed=" << seed
+          << ")";
+      ASSERT_EQ(vm_ctx.selected_socket, ref_ctx.selected_socket)
+          << "selected-socket divergence at tier " << t << " (seed=" << seed
+          << ")";
+      ASSERT_EQ(std::memcmp(vm_world.array.storage_base(),
+                            ref_world.array.storage_base(),
+                            vm_world.array.storage_bytes()),
+                0)
+          << "final map-content divergence at tier " << t
+          << " (seed=" << seed << ")\n"
+          << disassemble(prog);
+      // Counter discipline: the reference tier reports no plan activity;
+      // check elision is a Tier-2-only privilege.
+      if (t == 0) ASSERT_EQ(got.fused_hits, 0u);
+      if (t <= 1) {
+        ASSERT_EQ(got.elided_checks, 0u)
+            << "tier " << t << " elided a check (seed=" << seed << ")";
+      }
+    }
   }
 
   // The corpus must exercise both verifier verdicts, or the test is vacuous.
@@ -189,28 +227,39 @@ TEST(TortureBpfDiff, DispatchProgramAgreesWithReferenceInterpreter) {
   for (uint32_t w = 0; w < 16; ++w) socks.update(w, 1000 + w);
 
   const Program prog = core::build_dispatch_program(params);
-  Vm vm;
-  std::string err;
-  auto loaded = vm.load(prog, {&sel, &socks}, &err);
-  ASSERT_NE(loaded, nullptr) << err;
+  // One Vm per execution tier, all bound to the same (read-only) maps: the
+  // dispatch program never writes map state, so the tiers can share it.
+  Vm vms[3];
+  std::unique_ptr<LoadedProgram> loaded[3];
+  for (int t = 0; t < 3; ++t) {
+    vms[t].set_tier(static_cast<ExecTier>(t));
+    std::string err;
+    loaded[t] = vms[t].load(prog, {&sel, &socks}, &err);
+    ASSERT_NE(loaded[t], nullptr) << "tier " << t << ": " << err;
+  }
 
   sim::Rng rng(7);
   Map* maps[] = {&sel, &socks};
   for (int i = 0; i < 2'000; ++i) {
     sel.store_u64(0, rng.next_u64() & 0xffull);
     sel.store_u64(1, rng.next_u64() & 0xffull);
-    ReuseportCtx ctx = testing::gen_ctx(rng);
-    ReuseportCtx ref_ctx = ctx;
+    const ReuseportCtx ctx0 = testing::gen_ctx(rng);
+    ReuseportCtx ref_ctx = ctx0;
 
     const RefResult ref = ref_run(prog, maps, ref_ctx);
     ASSERT_FALSE(ref.trapped) << ref.trap << " at pc " << ref.trap_pc;
-    const Vm::RunResult got = vm.run(*loaded, ctx);
+    for (int t = 0; t < 3; ++t) {
+      ReuseportCtx ctx = ctx0;
+      const Vm::RunResult got = vms[t].run(*loaded[t], ctx);
 
-    ASSERT_EQ(got.ret, ref.ret) << "iteration " << i;
-    ASSERT_EQ(got.insns_executed, ref.insns_executed) << "iteration " << i;
-    ASSERT_EQ(ctx.selection_made, ref_ctx.selection_made) << "iteration " << i;
-    ASSERT_EQ(ctx.selected_socket, ref_ctx.selected_socket)
-        << "iteration " << i;
+      ASSERT_EQ(got.ret, ref.ret) << "iteration " << i << " tier " << t;
+      ASSERT_EQ(got.insns_executed, ref.insns_executed)
+          << "iteration " << i << " tier " << t;
+      ASSERT_EQ(ctx.selection_made, ref_ctx.selection_made)
+          << "iteration " << i << " tier " << t;
+      ASSERT_EQ(ctx.selected_socket, ref_ctx.selected_socket)
+          << "iteration " << i << " tier " << t;
+    }
   }
 }
 
