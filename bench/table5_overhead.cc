@@ -117,8 +117,8 @@ BENCHMARK(BM_DispatcherReferenceCpp);
 void print_sim_overhead(bench::BenchJson& json) {
   using namespace hermes::bench;
   header("Table 5 (part 2): CPU share of Hermes components by load");
-  std::printf("%-8s | %10s %10s %12s | %11s\n", "load", "counter",
-              "scheduler", "system call", "dispatcher");
+  std::printf("%-8s | %10s %10s %12s | %11s | %9s\n", "load", "counter",
+              "scheduler", "system call", "dispatcher", "supp/pub");
   for (double load : {1.0, 2.0, 3.0}) {
     sim::LbDevice::Config cfg;
     cfg.mode = netsim::DispatchMode::HermesMode;
@@ -146,6 +146,9 @@ void print_sim_overhead(bench::BenchJson& json) {
     const double counter_pct = events * 3 * 15 / total_core_ns * 100;
     const double sched_pct = static_cast<double>(c.schedules) * 8 * 60 /
                              total_core_ns * 100;
+    // c.syncs counts only *published* stores: change-suppressed syncs
+    // (c.syncs_suppressed) never reach the syscall boundary and are
+    // charged nothing here — that is the point of the suppression.
     const double sync_pct =
         static_cast<double>(c.syncs) * 1000 / total_core_ns * 100;
     uint64_t bpf_insns = 0;
@@ -157,13 +160,18 @@ void print_sim_overhead(bench::BenchJson& json) {
     }
     const double dispatcher_pct =
         static_cast<double>(bpf_insns) * 3 / total_core_ns * 100;
-    std::printf("%-8.0f | %9.3f%% %9.3f%% %11.3f%% | %10.3f%%\n", load,
-                counter_pct, sched_pct, sync_pct, dispatcher_pct);
+    std::printf("%-8.0f | %9.3f%% %9.3f%% %11.3f%% | %10.3f%% | %llu/%llu\n",
+                load, counter_pct, sched_pct, sync_pct, dispatcher_pct,
+                static_cast<unsigned long long>(c.syncs_suppressed),
+                static_cast<unsigned long long>(c.syncs));
     const std::string prefix = "load" + std::to_string((int)load);
     json.metric(prefix + ".counter_pct", counter_pct);
     json.metric(prefix + ".scheduler_pct", sched_pct);
     json.metric(prefix + ".syscall_pct", sync_pct);
     json.metric(prefix + ".dispatcher_pct", dispatcher_pct);
+    json.metric(prefix + ".syncs_published", static_cast<double>(c.syncs));
+    json.metric(prefix + ".syncs_suppressed",
+                static_cast<double>(c.syncs_suppressed));
   }
   std::printf("\npaper: light 0.122/0.272/0.275 | 0.005; heavy"
               " 0.897/0.531/0.965 | 0.043\nshape: every component stays"
@@ -218,9 +226,11 @@ struct ObsOverhead {
   double counter_ns = 0;   // per-op costs (diagnostics)
   double hist_ns = 0;
   double trace_ns = 0;
+  double timer_ns = 0;     // steady_clock pair + ns-counter add (sched slice)
   uint64_t counter_ops = 0;
   uint64_t hist_ops = 0;
   uint64_t trace_ops = 0;
+  uint64_t timer_ops = 0;
 };
 
 ObsOverhead measure_obs_overhead() {
@@ -256,6 +266,24 @@ ObsOverhead measure_obs_overhead() {
         },
         kIters);
   }
+  {
+    // sched.fast_path_ns is not an op count — its VALUE is nanoseconds.
+    // What obs pays for it is one steady_clock timing pair plus the
+    // counter add per schedule_and_sync (hermes.cc), so measure exactly
+    // that composite and charge it per filter run below.
+    obs::Counter c(8);
+    r.timer_ns = ns_per_op(
+        [&](int i) {
+          const auto t0 = std::chrono::steady_clock::now();
+          benchmark::DoNotOptimize(t0);
+          const auto dt = std::chrono::steady_clock::now() - t0;
+          c.add(i & 7,
+                static_cast<uint64_t>(
+                    std::chrono::duration_cast<std::chrono::nanoseconds>(dt)
+                        .count()));
+        },
+        kIters);
+  }
 
   // Exact op counts from a deterministic pipeline run with obs on.
   sim::LbDevice::Config cfg;
@@ -278,9 +306,14 @@ ObsOverhead measure_obs_overhead() {
         m.sync_dropped, m.dispatch_picks, m.dispatch_bpf,
         m.dispatch_fallback, m.dispatch_hash, m.bpf_tier_dispatches[0],
         m.bpf_tier_dispatches[1], m.bpf_tier_dispatches[2], m.bpf_fused_ops,
-        m.bpf_elided_checks, m.accept_enqueued, m.accept_dropped}) {
+        m.bpf_elided_checks, m.accept_enqueued, m.accept_dropped,
+        m.sched_syncs_suppressed}) {
     r.counter_ops += c->value();
   }
+  // sched.fast_path_ns accumulates NANOSECONDS, so its value() is not an
+  // op count. It is updated once per schedule (= once per filter run);
+  // charge that many timing-pair composites instead.
+  r.timer_ops = m.filter_runs->value();
   r.hist_ops = m.filter_selected->snapshot().count +
                m.sync_gap_ns->snapshot().count +
                m.accept_depth->snapshot().count +
@@ -296,7 +329,8 @@ ObsOverhead measure_obs_overhead() {
       static_cast<double>(end.ns()) * cfg.num_workers;
   const double obs_ns = static_cast<double>(r.counter_ops) * r.counter_ns +
                         static_cast<double>(r.hist_ops) * r.hist_ns +
-                        static_cast<double>(r.trace_ops) * r.trace_ns;
+                        static_cast<double>(r.trace_ops) * r.trace_ns +
+                        static_cast<double>(r.timer_ops) * r.timer_ns;
   r.pct = obs_ns / total_core_ns * 100.0;
   return r;
 }
@@ -372,13 +406,15 @@ double measure_sched_slice_overhead_pct() {
 void print_obs_overhead(bench::BenchJson& json) {
   bench::header("Table 5 (part 3): observability-layer overhead");
   const ObsOverhead o = measure_obs_overhead();
-  std::printf("per-op: counter %.2f ns, histogram %.2f ns, trace %.2f ns\n",
-              o.counter_ns, o.hist_ns, o.trace_ns);
+  std::printf("per-op: counter %.2f ns, histogram %.2f ns, trace %.2f ns,"
+              " sched timer %.2f ns\n",
+              o.counter_ns, o.hist_ns, o.trace_ns, o.timer_ns);
   std::printf("ops (case-1 sim, 8 workers, load 2.0, 4 s): %llu counter,"
-              " %llu histogram, %llu trace\n",
+              " %llu histogram, %llu trace, %llu sched timer\n",
               static_cast<unsigned long long>(o.counter_ops),
               static_cast<unsigned long long>(o.hist_ops),
-              static_cast<unsigned long long>(o.trace_ops));
+              static_cast<unsigned long long>(o.trace_ops),
+              static_cast<unsigned long long>(o.timer_ops));
   std::printf("instrumentation share of core time: %.4f%% (budget < 5%%)\n",
               o.pct);
   std::printf("end-to-end CPU diff, obs on vs off: %+.2f%% [diagnostic:"
@@ -391,6 +427,7 @@ void print_obs_overhead(bench::BenchJson& json) {
   json.metric("obs_counter_cost_ns", o.counter_ns);
   json.metric("obs_histogram_cost_ns", o.hist_ns);
   json.metric("obs_trace_cost_ns", o.trace_ns);
+  json.metric("obs_sched_timer_cost_ns", o.timer_ns);
 }
 
 }  // namespace

@@ -16,6 +16,8 @@
 #   analysis_cost     verifier cost table (abstract-interpreter behavior)
 #   dispatch_path     per-tier eBPF dispatch cost; gates the deterministic
 #                     plan shape and insns/fused/elided-per-dispatch rates
+#   sched_path        fast-vs-reference schedule_and_sync cost; gates the
+#                     sweep sync/suppression counts and bitmap checksums
 # Comparison policy (tolerances, wall-clock exclusions) lives in
 # bench/bench_gate_check.cc.
 set -euo pipefail
@@ -24,7 +26,7 @@ cd "$(dirname "$0")/.."
 BUILD_DIR=${BUILD_DIR:-build}
 BASELINE=${BASELINE:-bench/baseline.json}
 GATE_BENCHES=(fig12_unit_cost fig13_load_sd table5_overhead analysis_cost
-              dispatch_path)
+              dispatch_path sched_path)
 
 refresh=0
 if [ "${1:-}" = "--refresh" ]; then

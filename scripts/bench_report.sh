@@ -2,7 +2,7 @@
 # Run every reproduction bench in --json mode and aggregate the per-bench
 # results into one machine-readable report.
 #
-#   scripts/bench_report.sh                 # all benches -> BENCH_3.json
+#   scripts/bench_report.sh                 # all benches -> BENCH_5.json
 #   OUT=/tmp/r.json scripts/bench_report.sh fig12_unit_cost fig13_load_sd
 #   BUILD_DIR=build-ninja scripts/bench_report.sh
 #
@@ -15,7 +15,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BUILD_DIR=${BUILD_DIR:-build}
-OUT=${OUT:-BENCH_3.json}
+OUT=${OUT:-BENCH_5.json}
 JOBS=${JOBS:-$(nproc 2>/dev/null || echo 4)}
 
 ALL_BENCHES=(
@@ -23,7 +23,7 @@ ALL_BENCHES=(
   fig3_lag_effect fig4_event_cdf fig5_time_cdf fig7_nic_vs_cpu
   fig11_probes fig11_cluster fig12_unit_cost fig13_load_sd
   fig14_filter_ratio fig15_theta_sweep figA5_rules
-  table5_overhead analysis_cost dispatch_path appendixC_sandbox
+  table5_overhead analysis_cost dispatch_path sched_path appendixC_sandbox
   ablation_filter_order ablation_bitmap_sync ablation_sched_placement
   ablation_group_locality ablation_backend_pool ablation_user_dispatcher
   ablation_closed_loop ablation_wakeup_policy ablation_two_level

@@ -44,6 +44,7 @@ run_suite() {
   echo "==> ctest ${dir} -L '${LABELS}'"
   ctest --test-dir "$dir" --output-on-failure -j "$JOBS" -L "$LABELS"
   run_tier_sweep "$dir"
+  run_sched_sweep "$dir"
 }
 
 # eBPF execution-tier sweep: the suite above ran at the default tier
@@ -57,6 +58,20 @@ run_tier_sweep() {
     echo "==> ctest ${dir} -L bpf (HERMES_BPF_TIER=$tier)"
     HERMES_BPF_TIER=$tier \
       ctest --test-dir "$dir" --output-on-failure -j "$JOBS" -L bpf
+  done
+}
+
+# Scheduler-path sweep: the suite above ran with the default fast path
+# (HERMES_SCHED_FAST unset). Re-run the sched-labeled suites pinned to
+# each path so the SoA/branchless rewrite and the reference oracle keep
+# bit-identical bitmaps — under a sanitizer tree this is also what would
+# catch an out-of-bounds SoA gather or a bad fixed-point clamp.
+run_sched_sweep() {
+  local dir=$1
+  for path in 0 1; do
+    echo "==> ctest ${dir} -L sched (HERMES_SCHED_FAST=$path)"
+    HERMES_SCHED_FAST=$path \
+      ctest --test-dir "$dir" --output-on-failure -j "$JOBS" -L sched
   done
 }
 

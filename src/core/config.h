@@ -36,6 +36,14 @@ struct HermesConfig {
   // (Appendix C, Fig. A6).
   uint32_t workers_per_group = 64;
 
+  // Change-suppressed sync (DESIGN.md §8): when the fast scheduling path
+  // computes a bitmap identical to the group's last push, the M_sel store
+  // is skipped — unless the last push is at least this old. The forced
+  // refresh bounds the staleness a lost cross-worker race can cause to one
+  // interval; the default matches epoll_wait_timeout, the paper's own
+  // scheduling-pass frequency floor (§5.3.2).
+  SimTime sync_refresh_interval = SimTime::millis(5);
+
   // Cascade order (paper default: Time -> Connections -> PendingEvents;
   // §5.2.2 justifies the order, the ablation bench swaps it).
   FilterStage stage_order[3] = {FilterStage::Time, FilterStage::Connections,

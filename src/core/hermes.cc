@@ -1,6 +1,7 @@
 #include "core/hermes.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdlib>
 
 #include "util/check.h"
@@ -36,9 +37,15 @@ HermesRuntime::HermesRuntime(const Options& opts)
       obs_(opts.obs),
       scheduler_(opts.config),
       sel_map_(std::make_unique<bpf::ArrayMap>(num_groups_, sizeof(uint64_t))),
-      last_sync_ns_(num_groups_) {
+      last_sync_ns_(num_groups_),
+      last_pushed_bitmap_(num_groups_),
+      last_push_ns_(num_groups_),
+      gather_enter_(num_workers_),
+      gather_pending_(num_workers_),
+      gather_conns_(num_workers_) {
   HERMES_CHECK(num_workers_ > 0);
   for (auto& t : last_sync_ns_) t.store(-1, std::memory_order_relaxed);
+  for (auto& t : last_push_ns_) t.store(-1, std::memory_order_relaxed);
 }
 
 ScheduleResult HermesRuntime::schedule_and_sync(WorkerId self, SimTime now) {
@@ -47,7 +54,44 @@ ScheduleResult HermesRuntime::schedule_and_sync(WorkerId self, SimTime now) {
   const WorkerId base = group * wpg_;
   const uint32_t limit = std::min(wpg_, num_workers_ - base);
 
-  const ScheduleResult res = scheduler_.schedule(wst_, now, base, limit);
+  ScheduleResult res;
+  if (obs_ != nullptr) {
+    const auto t0 = std::chrono::steady_clock::now();
+    res = scheduler_.schedule(wst_, now, base, limit);
+    const auto dt = std::chrono::steady_clock::now() - t0;
+    obs_->metrics.sched_fast_path_ns->add(
+        self, static_cast<uint64_t>(
+                  std::chrono::duration_cast<std::chrono::nanoseconds>(dt)
+                      .count()));
+  } else {
+    res = scheduler_.schedule(wst_, now, base, limit);
+  }
+  finish_sync(self, group, now, res);
+  return res;
+}
+
+void HermesRuntime::schedule_all_groups(WorkerId self, SimTime now,
+                                        ScheduleResult* out) {
+  HERMES_CHECK(self < num_workers_);
+  // One pass over the whole WST; each group then filters its slice of the
+  // same SoA arrays (always the gathered fast-path core — the point of the
+  // variant is the single scan).
+  wst_.gather(0, num_workers_, gather_enter_.data(), gather_pending_.data(),
+              gather_conns_.data());
+  const HermesConfig& cfg = scheduler_.config();
+  for (uint32_t g = 0; g < num_groups_; ++g) {
+    const WorkerId base = g * wpg_;
+    const uint32_t limit = std::min(wpg_, num_workers_ - base);
+    out[g] = scheduler_.schedule_gathered(
+        gather_enter_.data() + base, gather_pending_.data() + base,
+        gather_conns_.data() + base, limit, now, cfg.stage_order,
+        cfg.num_stages);
+    finish_sync(self, g, now, out[g]);
+  }
+}
+
+void HermesRuntime::finish_sync(WorkerId self, uint32_t group, SimTime now,
+                                ScheduleResult& res) {
   ++counters_.schedules;
   counters_.workers_selected_sum += res.selected;
 
@@ -71,15 +115,42 @@ ScheduleResult HermesRuntime::schedule_and_sync(WorkerId self, SimTime now) {
                        res.bitmap, packed);
   }
 
+  // Change suppression (fast path only, DESIGN.md §8): when the bitmap
+  // equals the group's last push and that push is fresher than
+  // sync_refresh_interval, the store — and its Table-5 "syscall" — is
+  // skipped entirely. Checked before the fault hook: a suppressed sync
+  // never reaches the syscall boundary faults model. The interval bound
+  // (strict <) forces a real publish at least once per interval, which
+  // also repairs any divergence between the cache and the map (delayed
+  // stale syncs, racing workers).
+  if (scheduler_.path() == SchedPath::Fast) {
+    const int64_t prev_push =
+        last_push_ns_[group].load(std::memory_order_relaxed);
+    if (prev_push >= 0 &&
+        now.ns() - prev_push <
+            scheduler_.config().sync_refresh_interval.ns() &&
+        last_pushed_bitmap_[group].load(std::memory_order_relaxed) ==
+            res.bitmap) {
+      ++counters_.syncs_suppressed;
+      if (obs_ != nullptr) obs_->metrics.sched_syncs_suppressed->inc(self);
+      return;
+    }
+  }
+
   // Userspace -> kernel decision sync: one atomic 8-byte store into the
   // eBPF array map. Multiple workers may race here; last write wins, which
   // is exactly the paper's lock-free design (freshest status is best).
   if (faults_ != nullptr && !faults_->on_bitmap_sync(self, group, res.bitmap)) {
     ++counters_.syncs_dropped;
     if (obs_ != nullptr) obs_->metrics.sync_dropped->inc(self);
-    return res;
+    return;
   }
   sel_map_->store_u64(group, res.bitmap);
+  // Cache updates follow the completed store only — a dropped or held sync
+  // must not poison the suppression cache.
+  last_pushed_bitmap_[group].store(res.bitmap, std::memory_order_relaxed);
+  last_push_ns_[group].store(now.ns(), std::memory_order_relaxed);
+  res.published = true;
   ++counters_.syncs;
   if (obs_ != nullptr) {
     obs_->metrics.sync_published->inc(self);
@@ -92,7 +163,6 @@ ScheduleResult HermesRuntime::schedule_and_sync(WorkerId self, SimTime now) {
     obs_->traces.write(self, obs::TraceType::BitmapSync, now, group,
                        res.bitmap, static_cast<uint64_t>(gap < 0 ? 0 : gap));
   }
-  return res;
 }
 
 PortAttachment HermesRuntime::attach_port(

@@ -79,8 +79,18 @@ class HermesRuntime {
 
   // Stage 2, executed by worker `self` at the end of its event loop:
   // cascade-filter the worker's own group and atomically publish the
-  // bitmap to the kernel through M_sel. Returns the filter result.
+  // bitmap to the kernel through M_sel. Returns the filter result;
+  // result.published says whether the store actually happened (it is
+  // skipped when the fast path sees an unchanged bitmap within
+  // config.sync_refresh_interval, or when fault injection drops it).
   ScheduleResult schedule_and_sync(WorkerId self, SimTime now);
+
+  // Two-level variant (DESIGN.md §8): gather every group's slots in ONE
+  // pass over the WST, then run the cascade and sync for each group from
+  // the same SoA arrays. Counters/obs attribute to `self` (the calling
+  // worker / control thread). Uses member scratch — single caller at a
+  // time; per-group results land in out[0..num_groups).
+  void schedule_all_groups(WorkerId self, SimTime now, ScheduleResult* out);
 
   // Stage-3 attachment for one port: builds the socket map from the given
   // per-worker socket cookies and loads (verifies) the dispatch program.
@@ -97,10 +107,17 @@ class HermesRuntime {
     uint64_t syncs = 0;          // map-update "syscalls" (Table 5)
     uint64_t workers_selected_sum = 0;  // for avg pass ratio (Fig. 14)
     uint64_t syncs_dropped = 0;  // map updates suppressed by fault injection
+    uint64_t syncs_suppressed = 0;  // stores skipped: bitmap unchanged
   };
   const Counters& counters() const { return counters_; }
 
  private:
+  // Everything after the schedule itself: counters, obs, change
+  // suppression, the fault hook, and the M_sel store. Shared between
+  // schedule_and_sync and schedule_all_groups.
+  void finish_sync(WorkerId self, uint32_t group, SimTime now,
+                   ScheduleResult& res);
+
   uint32_t num_workers_;
   uint32_t wpg_;
   uint32_t num_groups_;
@@ -115,6 +132,16 @@ class HermesRuntime {
   // Per-group timestamp of the last completed sync, for the staleness
   // histogram (sync.gap_ns). Atomic: syncs may race across worker threads.
   std::vector<std::atomic<int64_t>> last_sync_ns_;
+  // Change-suppression cache (DESIGN.md §8): the last bitmap actually
+  // stored into M_sel per group, and when. last_push_ns_ < 0 means "no
+  // valid cache". Two separate atomics can momentarily disagree under a
+  // cross-worker race; the forced refresh after sync_refresh_interval
+  // bounds the damage to one interval.
+  std::vector<std::atomic<uint64_t>> last_pushed_bitmap_;
+  std::vector<std::atomic<int64_t>> last_push_ns_;
+  // Scratch for schedule_all_groups' single-pass gather (one caller at a
+  // time; sized num_workers at construction).
+  std::vector<int64_t> gather_enter_, gather_pending_, gather_conns_;
 };
 
 }  // namespace hermes::core

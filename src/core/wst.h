@@ -96,6 +96,20 @@ class WorkerStatusTable {
         s.connections.load(std::memory_order_relaxed),
     };
   }
+  // Single-pass SoA gather of `count` consecutive slots starting at `base`
+  // into caller-provided arrays (the scheduling fast path, DESIGN.md §8).
+  // Memory orders match read(): acquire on the heartbeat, relaxed on the
+  // counts — the same per-metric atomic discipline, one slot touch each.
+  void gather(WorkerId base, uint32_t count, int64_t* loop_enter_ns,
+              int64_t* pending_events, int64_t* connections) const {
+    for (uint32_t i = 0; i < count; ++i) {
+      const WorkerSlot& s = slot(base + i);
+      loop_enter_ns[i] = s.loop_enter_ns.load(std::memory_order_acquire);
+      pending_events[i] = s.pending_events.load(std::memory_order_relaxed);
+      connections[i] = s.connections.load(std::memory_order_relaxed);
+    }
+  }
+
   int64_t connections(WorkerId w) const {
     return slot(w).connections.load(std::memory_order_relaxed);
   }

@@ -207,6 +207,8 @@ PipelineMetrics::PipelineMetrics(Registry& reg, uint32_t workers)
       sync_published(&reg.counter("sync.published", workers)),
       sync_dropped(&reg.counter("sync.dropped", workers)),
       sync_gap_ns(&reg.histogram("sync.gap_ns", workers, 2)),
+      sched_syncs_suppressed(&reg.counter("sched.syncs_suppressed", workers)),
+      sched_fast_path_ns(&reg.counter("sched.fast_path_ns", workers)),
       dispatch_picks(&reg.counter("dispatch.picks", workers)),
       dispatch_bpf(&reg.counter("dispatch.bpf", 1)),
       dispatch_fallback(&reg.counter("dispatch.fallback", 1)),

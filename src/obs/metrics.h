@@ -204,6 +204,10 @@ struct PipelineMetrics {
   Counter* sync_dropped;        // suppressed by fault injection / errors
   LogHistogram* sync_gap_ns;    // staleness: gap between a group's syncs
 
+  // Stage 2 — scheduling fast path (DESIGN.md §8).
+  Counter* sched_syncs_suppressed;  // M_sel stores skipped: bitmap unchanged
+  Counter* sched_fast_path_ns;      // wall ns accumulated inside schedule()
+
   // Stage 3 — in-kernel dispatch (Algo. 2 at reuseport-select time).
   Counter* dispatch_picks;      // sharded by the *picked* worker
   Counter* dispatch_bpf;        // program selected a socket

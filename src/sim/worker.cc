@@ -167,12 +167,12 @@ void Worker::end_iteration() {
   if (hermes_ != nullptr && !cfg_.schedule_at_loop_start &&
       (last_sync_.ns() < 0 ||
        eq_.now() - last_sync_ >= cfg_.min_sync_interval)) {
-    const SimTime cost =
-        cfg_.scheduler_cost_per_worker *
-            static_cast<int64_t>(hermes_->workers_per_group()) +
-        cfg_.sync_syscall_cost;
-    busy_time_ += cost;
-    hermes_->schedule_and_sync(cfg_.id, eq_.now());
+    busy_time_ += cfg_.scheduler_cost_per_worker *
+                  static_cast<int64_t>(hermes_->workers_per_group());
+    const auto res = hermes_->schedule_and_sync(cfg_.id, eq_.now());
+    // The map-update "syscall" (Table 5) is only paid when the bitmap was
+    // actually stored — change-suppressed syncs skip it.
+    if (res.published) busy_time_ += cfg_.sync_syscall_cost;
     last_sync_ = eq_.now();
   }
 

@@ -128,13 +128,46 @@ TEST_F(RuntimeTest, StaleBitmapRefreshedByNextSync) {
 }
 
 TEST_F(RuntimeTest, CountersTrackSchedulesAndSyncs) {
+  // Reference path: every sync publishes, even a back-to-back identical one.
+  runtime_.scheduler().set_path(core::SchedPath::Reference);
   const SimTime now = SimTime::millis(5);
   all_alive(now);
-  runtime_.schedule_and_sync(0, now);
-  runtime_.schedule_and_sync(1, now);
+  auto res = runtime_.schedule_and_sync(0, now);
+  EXPECT_TRUE(res.published);
+  res = runtime_.schedule_and_sync(1, now);
+  EXPECT_TRUE(res.published);
   EXPECT_EQ(runtime_.counters().schedules, 2u);
   EXPECT_EQ(runtime_.counters().syncs, 2u);
+  EXPECT_EQ(runtime_.counters().syncs_suppressed, 0u);
   EXPECT_EQ(runtime_.counters().workers_selected_sum, 8u);
+}
+
+TEST_F(RuntimeTest, FastPathSuppressesUnchangedSyncWithinRefreshInterval) {
+  runtime_.scheduler().set_path(core::SchedPath::Fast);
+  const SimTime now = SimTime::millis(5);
+  all_alive(now);
+  auto res = runtime_.schedule_and_sync(0, now);
+  EXPECT_TRUE(res.published);
+  // Identical bitmap within sync_refresh_interval: store skipped.
+  res = runtime_.schedule_and_sync(1, now + SimTime::millis(1));
+  EXPECT_FALSE(res.published);
+  EXPECT_EQ(runtime_.counters().syncs, 1u);
+  EXPECT_EQ(runtime_.counters().syncs_suppressed, 1u);
+  // Changed bitmap: published immediately even inside the interval.
+  runtime_.wst().add_connections(2, 1000);
+  res = runtime_.schedule_and_sync(0, now + SimTime::millis(2));
+  EXPECT_TRUE(res.published);
+  EXPECT_FALSE(bitmap_test(runtime_.kernel_bitmap(), 2));
+  // Identical again, but the refresh interval elapsed: forced publish.
+  const SimTime later =
+      now + SimTime::millis(2) + runtime_.config().sync_refresh_interval;
+  all_alive(later);
+  res = runtime_.schedule_and_sync(1, later);
+  EXPECT_TRUE(res.published);
+  EXPECT_EQ(runtime_.counters().syncs, 3u);
+  EXPECT_EQ(runtime_.counters().syncs_suppressed, 1u);
+  // schedules counts every run, suppressed or not.
+  EXPECT_EQ(runtime_.counters().schedules, 4u);
 }
 
 TEST(RuntimeGroupTest, TwoLevelRuntimeFor128Workers) {

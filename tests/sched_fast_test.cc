@@ -1,0 +1,165 @@
+// Scheduling fast path (DESIGN.md §8): the SoA/branchless/fixed-point
+// scheduler against the retained reference implementation.
+//
+// The contract is bit-identical bitmaps: both paths implement exact
+// 128-bit fixed-point threshold math, differing only in traversal (scalar
+// loops over per-worker snapshots vs one SoA gather + set-bit walking).
+// The differential sweep here crosses >=10k randomized WST snapshots with
+// all 6 stage orders, theta in {0, 0.1, 0.5} and group limits {1, 2, 63,
+// 64}, mixing metric magnitudes up to ~2^60 so the >2^53 range — where the
+// old double-precision filter misclassified — is covered continuously.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "core/scheduler.h"
+#include "core/wst.h"
+#include "simcore/rng.h"
+#include "test_util.h"
+
+namespace hermes {
+namespace {
+
+using core::FilterStage;
+using core::ScheduleResult;
+using core::Scheduler;
+using core::SchedPath;
+using core::WorkerStatusTable;
+
+// All 6 permutations of the three cascade stages.
+constexpr FilterStage kOrders[6][3] = {
+    {FilterStage::Time, FilterStage::Connections, FilterStage::PendingEvents},
+    {FilterStage::Time, FilterStage::PendingEvents, FilterStage::Connections},
+    {FilterStage::Connections, FilterStage::Time, FilterStage::PendingEvents},
+    {FilterStage::Connections, FilterStage::PendingEvents, FilterStage::Time},
+    {FilterStage::PendingEvents, FilterStage::Time, FilterStage::Connections},
+    {FilterStage::PendingEvents, FilterStage::Connections, FilterStage::Time},
+};
+constexpr double kThetas[] = {0.0, 0.1, 0.5};
+constexpr uint32_t kLimits[] = {1, 2, 63, 64};
+
+// A metric value of varied magnitude: mostly small counts, sometimes huge
+// (beyond 2^53, where double rounding is lossy).
+int64_t random_metric(sim::Rng& rng) {
+  switch (rng.next_below(4)) {
+    case 0: return 0;
+    case 1: return static_cast<int64_t>(rng.next_below(1000));
+    case 2: return static_cast<int64_t>(rng.next_below(1u << 30));
+    default:
+      return (int64_t{1} << 60) + static_cast<int64_t>(rng.next_below(8));
+  }
+}
+
+TEST(SchedFastDifferentialTest, FastMatchesReferenceBitForBit) {
+  sim::Rng rng(0x5eedfa57);
+  const SimTime now = SimTime::seconds(100);
+  uint64_t snapshots = 0;
+
+  for (uint32_t limit : kLimits) {
+    auto buf = testing::wst_buffer(limit);
+    for (int iter = 0; iter < 2500; ++iter) {
+      auto wst = WorkerStatusTable::init(buf.data(), limit);
+      for (WorkerId w = 0; w < limit; ++w) {
+        // Heartbeats spread across [now - 100ms, now]: both sides of the
+        // 50 ms hang threshold, plus never-started workers.
+        if (rng.bernoulli(0.1)) {
+          wst.update_avail(w, SimTime::zero());
+        } else {
+          wst.update_avail(
+              w, now - SimTime::millis(static_cast<int64_t>(rng.next_below(100))));
+        }
+        wst.add_connections(w, random_metric(rng));
+        wst.add_pending(w, random_metric(rng));
+      }
+      ++snapshots;
+
+      for (const auto& order : kOrders) {
+        for (double theta : kThetas) {
+          core::HermesConfig cfg;
+          cfg.theta_ratio = theta;
+          Scheduler sched(cfg);
+          sched.set_path(SchedPath::Fast);
+          const ScheduleResult fast =
+              sched.schedule_with_order(wst, now, order, 3, 0, limit);
+          const ScheduleResult ref = sched.schedule_reference_with_order(
+              wst, now, order, 3, 0, limit);
+          ASSERT_EQ(fast.bitmap, ref.bitmap)
+              << "limit=" << limit << " theta=" << theta << " iter=" << iter;
+          ASSERT_EQ(fast.after_time, ref.after_time);
+          ASSERT_EQ(fast.after_conn, ref.after_conn);
+          ASSERT_EQ(fast.after_event, ref.after_event);
+          ASSERT_EQ(fast.selected, ref.selected);
+        }
+      }
+    }
+  }
+  EXPECT_GE(snapshots, 10000u);
+}
+
+// Regression for the latent double-rounding bug the fixed-point rewrite
+// fixes (old src/core/scheduler.cc:31): with connections {2^60, 2^60,
+// 2^60 + 1} and theta = 0, double math rounds sum to 3*2^60, makes
+// avg == 2^60 exactly, and rounds worker 2's value down onto the average —
+// the `v == avg` degenerate check then wrongly kept the over-threshold
+// worker. Exact integer math filters it: v*n = 3*2^60 + 3 > sum =
+// 3*2^60 + 1, and v*n != sum.
+TEST(SchedFastDifferentialTest, Above2Pow53OverThresholdWorkerIsFiltered) {
+  constexpr uint32_t kWorkers = 3;
+  auto buf = testing::wst_buffer(kWorkers);
+  auto wst = WorkerStatusTable::init(buf.data(), kWorkers);
+  const SimTime now = SimTime::seconds(1);
+  constexpr int64_t kBig = int64_t{1} << 60;
+  for (WorkerId w = 0; w < kWorkers; ++w) {
+    wst.update_avail(w, now);
+    wst.add_connections(w, w == 2 ? kBig + 1 : kBig);
+  }
+
+  core::HermesConfig cfg;
+  cfg.theta_ratio = 0.0;
+  Scheduler sched(cfg);
+  for (SchedPath p : {SchedPath::Fast, SchedPath::Reference}) {
+    sched.set_path(p);
+    const ScheduleResult res = sched.schedule(wst, now);
+    EXPECT_TRUE(core::bitmap_test(res.bitmap, 0)) << to_string(p);
+    EXPECT_TRUE(core::bitmap_test(res.bitmap, 1)) << to_string(p);
+    EXPECT_FALSE(core::bitmap_test(res.bitmap, 2))
+        << to_string(p) << ": over-threshold worker passed via rounding";
+    EXPECT_EQ(res.selected, 2u) << to_string(p);
+  }
+}
+
+// The degenerate all-equal pass rule survives the rewrite even above 2^53:
+// every candidate at exactly the same huge value passes with theta = 0.
+TEST(SchedFastDifferentialTest, AllEqualHugeMetricsKeepEveryone) {
+  constexpr uint32_t kWorkers = 5;
+  auto buf = testing::wst_buffer(kWorkers);
+  auto wst = WorkerStatusTable::init(buf.data(), kWorkers);
+  const SimTime now = SimTime::seconds(1);
+  for (WorkerId w = 0; w < kWorkers; ++w) {
+    wst.update_avail(w, now);
+    wst.add_connections(w, (int64_t{1} << 60) + 7);
+    wst.add_pending(w, (int64_t{1} << 59) + 3);
+  }
+  core::HermesConfig cfg;
+  cfg.theta_ratio = 0.0;
+  Scheduler sched(cfg);
+  for (SchedPath p : {SchedPath::Fast, SchedPath::Reference}) {
+    sched.set_path(p);
+    const ScheduleResult res = sched.schedule(wst, now);
+    EXPECT_EQ(res.selected, kWorkers) << to_string(p);
+  }
+}
+
+// theta quantization: the permille conversion is exact for the paper's
+// sweep values and clamps the extremes that would overflow the product.
+TEST(SchedFastDifferentialTest, ThetaPermilleQuantization) {
+  EXPECT_EQ(core::theta_permille_of(0.0), 0);
+  EXPECT_EQ(core::theta_permille_of(0.1), 100);
+  EXPECT_EQ(core::theta_permille_of(0.5), 500);
+  EXPECT_EQ(core::theta_permille_of(1.5), 1500);
+  EXPECT_EQ(core::theta_permille_of(-1.0), 0);            // clamped low
+  EXPECT_EQ(core::theta_permille_of(1e18), 1000000000000000);  // clamped high
+}
+
+}  // namespace
+}  // namespace hermes
