@@ -305,9 +305,10 @@ ObsOverhead measure_obs_overhead() {
         m.filter_after_event, m.filter_low_survivor, m.sync_published,
         m.sync_dropped, m.dispatch_picks, m.dispatch_bpf,
         m.dispatch_fallback, m.dispatch_hash, m.bpf_tier_dispatches[0],
-        m.bpf_tier_dispatches[1], m.bpf_tier_dispatches[2], m.bpf_fused_ops,
-        m.bpf_elided_checks, m.accept_enqueued, m.accept_dropped,
-        m.sched_syncs_suppressed}) {
+        m.bpf_tier_dispatches[1], m.bpf_tier_dispatches[2],
+        m.bpf_tier_dispatches[3], m.bpf_fused_ops,
+        m.bpf_elided_checks, m.bpf_jit_fallbacks, m.accept_enqueued,
+        m.accept_dropped, m.sched_syncs_suppressed}) {
     r.counter_ops += c->value();
   }
   // sched.fast_path_ns accumulates NANOSECONDS, so its value() is not an

@@ -49,16 +49,23 @@ run_suite() {
 
 # eBPF execution-tier sweep: the suite above ran at the default tier
 # (HERMES_BPF_TIER unset = 2, check elision). Re-run the bpf-labeled
-# suites pinned to the reference interpreter (0) and the threaded plan (1)
-# so every tier keeps identical semantics; under a sanitizer tree this is
-# also what would catch an unsoundly elided bounds check.
+# suites pinned to the reference interpreter (0), the threaded plan (1),
+# and the native JIT (3) so every tier keeps identical semantics; under a
+# sanitizer tree this is also what would catch an unsoundly elided bounds
+# check or a codegen slip. Tier 3 silently lands on tier 2 on non-x86-64
+# hosts (the tests assert the fallback contract instead). The final leg
+# pins tier 3 with the JIT switched off, exercising the
+# codegen-unavailable fallback path end to end.
 run_tier_sweep() {
   local dir=$1
-  for tier in 0 1; do
+  for tier in 0 1 3; do
     echo "==> ctest ${dir} -L bpf (HERMES_BPF_TIER=$tier)"
     HERMES_BPF_TIER=$tier \
       ctest --test-dir "$dir" --output-on-failure -j "$JOBS" -L bpf
   done
+  echo "==> ctest ${dir} -L jit (HERMES_BPF_TIER=3 HERMES_BPF_JIT=off)"
+  HERMES_BPF_TIER=3 HERMES_BPF_JIT=off \
+    ctest --test-dir "$dir" --output-on-failure -j "$JOBS" -L jit
 }
 
 # Scheduler-path sweep: the suite above ran with the default fast path

@@ -1,0 +1,397 @@
+// Minimal x86-64 instruction encoder for the tier-3 JIT (bpf/jit/).
+//
+// CodeBuf is a growable byte buffer with one emit method per instruction
+// form the micro-op translator needs — nothing more. Registers are plain
+// x86 encodings 0..15 (rax=0 .. r15=15); REX prefixes, SIB bytes and
+// disp8/disp32 selection are handled here so jit_x86.cc reads like an
+// assembly listing. Branch targets inside the buffer are raw byte offsets;
+// rel8/rel32 patching is the caller's job (two-pass fixups).
+//
+// The encoder is host-independent (it only writes bytes); only executing
+// the result requires an x86-64 host.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "util/check.h"
+
+namespace hermes::bpf::jit {
+
+// x86-64 register numbers.
+inline constexpr int RAX = 0, RCX = 1, RDX = 2, RBX = 3, RSP = 4, RBP = 5,
+                     RSI = 6, RDI = 7, R8 = 8, R9 = 9, R10 = 10, R11 = 11,
+                     R12 = 12, R13 = 13, R14 = 14, R15 = 15;
+
+// Condition codes (the low nibble of 0F 8x / 7x).
+inline constexpr uint8_t CC_B = 0x2, CC_AE = 0x3, CC_E = 0x4, CC_NE = 0x5,
+                         CC_BE = 0x6, CC_A = 0x7, CC_L = 0xC, CC_GE = 0xD,
+                         CC_LE = 0xE, CC_G = 0xF;
+
+inline uint8_t cc_invert(uint8_t cc) { return cc ^ 1; }
+
+class CodeBuf {
+ public:
+  size_t size() const { return bytes_.size(); }
+  const uint8_t* data() const { return bytes_.data(); }
+
+  void u8(uint8_t v) { bytes_.push_back(v); }
+  void u32(uint32_t v) {
+    for (int i = 0; i < 4; ++i) u8(static_cast<uint8_t>(v >> (8 * i)));
+  }
+  void u64(uint64_t v) {
+    for (int i = 0; i < 8; ++i) u8(static_cast<uint8_t>(v >> (8 * i)));
+  }
+
+  // --- moves -----------------------------------------------------------
+  void mov_rr64(int dst, int src) { rr(true, 0x89, src, dst); }
+  void mov_rr32(int dst, int src) { rr(false, 0x89, src, dst); }
+
+  // dst = imm, shortest encoding that preserves the full 64-bit value.
+  void mov_ri(int dst, uint64_t imm) {
+    if (imm == static_cast<uint32_t>(imm)) {
+      // mov r32, imm32 zero-extends.
+      rex(false, 0, 0, dst);
+      u8(0xB8 + (dst & 7));
+      u32(static_cast<uint32_t>(imm));
+    } else if (static_cast<int64_t>(imm) ==
+               static_cast<int32_t>(static_cast<uint32_t>(imm))) {
+      // mov r64, simm32 sign-extends.
+      rex(true, 0, 0, dst);
+      u8(0xC7);
+      modrm_reg(0, dst);
+      u32(static_cast<uint32_t>(imm));
+    } else {
+      rex(true, 0, 0, dst);
+      u8(0xB8 + (dst & 7));
+      u64(imm);
+    }
+  }
+
+  // --- ALU reg, reg (64/32-bit; opcode is the /r store form) -----------
+  void add_rr64(int dst, int src) { rr(true, 0x01, src, dst); }
+  void sub_rr64(int dst, int src) { rr(true, 0x29, src, dst); }
+  void and_rr64(int dst, int src) { rr(true, 0x21, src, dst); }
+  void or_rr64(int dst, int src) { rr(true, 0x09, src, dst); }
+  void xor_rr64(int dst, int src) { rr(true, 0x31, src, dst); }
+  void cmp_rr64(int dst, int src) { rr(true, 0x39, src, dst); }
+  void test_rr64(int dst, int src) { rr(true, 0x85, src, dst); }
+  void add_rr32(int dst, int src) { rr(false, 0x01, src, dst); }
+  void sub_rr32(int dst, int src) { rr(false, 0x29, src, dst); }
+  void and_rr32(int dst, int src) { rr(false, 0x21, src, dst); }
+  void or_rr32(int dst, int src) { rr(false, 0x09, src, dst); }
+  void xor_rr32(int dst, int src) { rr(false, 0x31, src, dst); }
+  void test_rr32(int dst, int src) { rr(false, 0x85, src, dst); }
+
+  void xor_zero32(int dst) { xor_rr32(dst, dst); }  // zeroes all 64 bits
+
+  // --- ALU reg, imm (group-1 /ext: 0=add 1=or 4=and 5=sub 6=xor 7=cmp) -
+  void alu_ri64(int ext, int dst, int32_t imm) { gi(true, ext, dst, imm); }
+  void alu_ri32(int ext, int dst, int32_t imm) { gi(false, ext, dst, imm); }
+  void test_ri64(int dst, int32_t imm) {
+    rex(true, 0, 0, dst);
+    u8(0xF7);
+    modrm_reg(0, dst);
+    u32(static_cast<uint32_t>(imm));
+  }
+
+  // --- mul / div / neg -------------------------------------------------
+  void imul_rr64(int dst, int src) { rr2(true, 0xAF, dst, src); }
+  void imul_rr32(int dst, int src) { rr2(false, 0xAF, dst, src); }
+  void imul_rri(bool w, int dst, int src, int32_t imm) {
+    rex(w, dst, 0, src);
+    u8(0x69);
+    modrm_reg(dst, src);
+    u32(static_cast<uint32_t>(imm));
+  }
+  void div_r(bool w, int src) {  // unsigned rdx:rax / src
+    rex(w, 0, 0, src);
+    u8(0xF7);
+    modrm_reg(6, src);
+  }
+  void neg_r64(int dst) { grp3(true, 3, dst); }
+  void neg_r32(int dst) { grp3(false, 3, dst); }
+
+  // --- shifts ----------------------------------------------------------
+  // ext: 4=shl 5=shr 7=sar. Count in cl or imm8 (hardware masks to 63/31,
+  // matching BPF's mod-64 / mod-32 semantics).
+  void shift_cl(bool w, int ext, int dst) {
+    rex(w, 0, 0, dst);
+    u8(0xD3);
+    modrm_reg(ext, dst);
+  }
+  void shift_ri(bool w, int ext, int dst, uint8_t imm) {
+    rex(w, 0, 0, dst);
+    u8(0xC1);
+    modrm_reg(ext, dst);
+    u8(imm);
+  }
+
+  // --- memory: [base + disp] ------------------------------------------
+  void load8(int dst, int base, int32_t disp) {  // movzx r64, byte
+    rex(true, dst, 0, base);
+    u8(0x0F);
+    u8(0xB6);
+    modrm_mem(dst, base, disp);
+  }
+  void load16(int dst, int base, int32_t disp) {  // movzx r64, word
+    rex(true, dst, 0, base);
+    u8(0x0F);
+    u8(0xB7);
+    modrm_mem(dst, base, disp);
+  }
+  void load32(int dst, int base, int32_t disp) {  // mov r32 (zero-extends)
+    rex(false, dst, 0, base);
+    u8(0x8B);
+    modrm_mem(dst, base, disp);
+  }
+  void load64(int dst, int base, int32_t disp) {
+    rex(true, dst, 0, base);
+    u8(0x8B);
+    modrm_mem(dst, base, disp);
+  }
+  // mov dst, [base + index*8]
+  void load64_index8(int dst, int base, int index) {
+    HERMES_CHECK(index != RSP);
+    u8(0x48 | 0x4 /*R*/ * ((dst >> 3) & 1) | 0x2 /*X*/ * ((index >> 3) & 1) |
+       0x1 /*B*/ * ((base >> 3) & 1));
+    u8(0x8B);
+    const int b = base & 7;
+    if (b == 5) {  // rbp/r13 base needs an explicit disp8
+      u8(0x44 | ((dst & 7) << 3));
+      u8(0xC0 | ((index & 7) << 3) | b);  // scale=8
+      u8(0);
+    } else {
+      u8(0x04 | ((dst & 7) << 3));
+      u8(0xC0 | ((index & 7) << 3) | b);
+    }
+  }
+
+  void store8(int base, int32_t disp, int src) {
+    // Always emit REX: spl/bpl/sil/dil need it to address their low byte.
+    force_rex(false, src, 0, base);
+    u8(0x88);
+    modrm_mem(src, base, disp);
+  }
+  void store16(int base, int32_t disp, int src) {
+    u8(0x66);
+    rex(false, src, 0, base);
+    u8(0x89);
+    modrm_mem(src, base, disp);
+  }
+  void store32(int base, int32_t disp, int src) {
+    rex(false, src, 0, base);
+    u8(0x89);
+    modrm_mem(src, base, disp);
+  }
+  void store64(int base, int32_t disp, int src) {
+    rex(true, src, 0, base);
+    u8(0x89);
+    modrm_mem(src, base, disp);
+  }
+
+  void store8_imm(int base, int32_t disp, uint8_t imm) {
+    rex(false, 0, 0, base);
+    u8(0xC6);
+    modrm_mem(0, base, disp);
+    u8(imm);
+  }
+  void store16_imm(int base, int32_t disp, uint16_t imm) {
+    u8(0x66);
+    rex(false, 0, 0, base);
+    u8(0xC7);
+    modrm_mem(0, base, disp);
+    u8(static_cast<uint8_t>(imm));
+    u8(static_cast<uint8_t>(imm >> 8));
+  }
+  void store32_imm(int base, int32_t disp, uint32_t imm) {
+    rex(false, 0, 0, base);
+    u8(0xC7);
+    modrm_mem(0, base, disp);
+    u32(imm);
+  }
+  void store64_simm32(int base, int32_t disp, int32_t imm) {
+    rex(true, 0, 0, base);
+    u8(0xC7);
+    modrm_mem(0, base, disp);
+    u32(static_cast<uint32_t>(imm));
+  }
+
+  // add qword [base + disp], imm32
+  void add_mem_imm64(int base, int32_t disp, int32_t imm) {
+    rex(true, 0, 0, base);
+    if (imm >= -128 && imm <= 127) {
+      u8(0x83);
+      modrm_mem(0, base, disp);
+      u8(static_cast<uint8_t>(imm));
+    } else {
+      u8(0x81);
+      modrm_mem(0, base, disp);
+      u32(static_cast<uint32_t>(imm));
+    }
+  }
+
+  void lea(int dst, int base, int32_t disp) {
+    rex(true, dst, 0, base);
+    u8(0x8D);
+    modrm_mem(dst, base, disp);
+  }
+
+  // --- stack / calls ---------------------------------------------------
+  void push_r(int r) {
+    if (r >= 8) u8(0x41);
+    u8(0x50 + (r & 7));
+  }
+  void pop_r(int r) {
+    if (r >= 8) u8(0x41);
+    u8(0x58 + (r & 7));
+  }
+  void call_r(int r) {
+    if (r >= 8) u8(0x41);
+    u8(0xFF);
+    modrm_reg(2, r);
+  }
+  void ret() { u8(0xC3); }
+
+  // --- branches (placeholders; patch via patch_rel8/patch_rel32) -------
+  // Returns the byte offset of the rel field.
+  size_t jmp_rel32() {
+    u8(0xE9);
+    const size_t pos = size();
+    u32(0);
+    return pos;
+  }
+  size_t jcc_rel32(uint8_t cc) {
+    u8(0x0F);
+    u8(0x80 + cc);
+    const size_t pos = size();
+    u32(0);
+    return pos;
+  }
+  size_t jcc_rel8(uint8_t cc) {
+    u8(0x70 + cc);
+    const size_t pos = size();
+    u8(0);
+    return pos;
+  }
+  size_t jmp_rel8() {
+    u8(0xEB);
+    const size_t pos = size();
+    u8(0);
+    return pos;
+  }
+  void patch_rel8(size_t pos) {  // target = current end of buffer
+    const int64_t rel = static_cast<int64_t>(size()) -
+                        (static_cast<int64_t>(pos) + 1);
+    HERMES_CHECK(rel >= -128 && rel <= 127);
+    bytes_[pos] = static_cast<uint8_t>(rel);
+  }
+  void patch_rel32(size_t pos, size_t target) {
+    const int64_t rel = static_cast<int64_t>(target) -
+                        (static_cast<int64_t>(pos) + 4);
+    HERMES_CHECK(rel >= INT32_MIN && rel <= INT32_MAX);
+    const auto v = static_cast<uint32_t>(static_cast<int32_t>(rel));
+    for (int i = 0; i < 4; ++i) {
+      bytes_[pos + static_cast<size_t>(i)] =
+          static_cast<uint8_t>(v >> (8 * i));
+    }
+  }
+
+  // movabs rax, imm64; call rax — register-indirect, so the helper may
+  // live anywhere in the address space (no ±2GB constraint on the mmap'd
+  // buffer's placement relative to the text segment).
+  void call_imm64(uint64_t target) {
+    mov_ri_full(RAX, target);
+    call_r(RAX);
+  }
+
+  // Always-movabs form (stable 10-byte encoding).
+  void mov_ri_full(int dst, uint64_t imm) {
+    rex(true, 0, 0, dst);
+    u8(0xB8 + (dst & 7));
+    u64(imm);
+  }
+
+  // --- SSE (stack zeroing) ---------------------------------------------
+  void xorps0() {  // xorps xmm0, xmm0
+    u8(0x0F);
+    u8(0x57);
+    u8(0xC0);
+  }
+  void movaps_store0(int base, int32_t disp) {  // movaps [base+disp], xmm0
+    rex(false, 0, 0, base);
+    u8(0x0F);
+    u8(0x29);
+    modrm_mem(0, base, disp);
+  }
+
+ private:
+  void rex(bool w, int reg, int index, int rm) {
+    const uint8_t b = static_cast<uint8_t>(
+        (w ? 0x8 : 0) | (((reg >> 3) & 1) << 2) | (((index >> 3) & 1) << 1) |
+        ((rm >> 3) & 1));
+    if (w || b != 0) u8(0x40 | b);
+  }
+  void force_rex(bool w, int reg, int index, int rm) {
+    const uint8_t b = static_cast<uint8_t>(
+        (w ? 0x8 : 0) | (((reg >> 3) & 1) << 2) | (((index >> 3) & 1) << 1) |
+        ((rm >> 3) & 1));
+    u8(0x40 | b);
+  }
+  void modrm_reg(int reg, int rm) {
+    u8(static_cast<uint8_t>(0xC0 | ((reg & 7) << 3) | (rm & 7)));
+  }
+  // [base + disp]; emits SIB for rsp/r12 bases, forces disp8 for rbp/r13.
+  void modrm_mem(int reg, int base, int32_t disp) {
+    const int b = base & 7;
+    const bool sib = (b == RSP);
+    int mod;
+    if (disp == 0 && b != RBP) {
+      mod = 0;
+    } else if (disp >= -128 && disp <= 127) {
+      mod = 1;
+    } else {
+      mod = 2;
+    }
+    u8(static_cast<uint8_t>((mod << 6) | ((reg & 7) << 3) | (sib ? 4 : b)));
+    if (sib) u8(0x24);  // scale=1, no index, base=rsp/r12
+    if (mod == 1) {
+      u8(static_cast<uint8_t>(disp));
+    } else if (mod == 2) {
+      u32(static_cast<uint32_t>(disp));
+    }
+  }
+  void rr(bool w, uint8_t opcode, int reg, int rm) {
+    rex(w, reg, 0, rm);
+    u8(opcode);
+    modrm_reg(reg, rm);
+  }
+  void rr2(bool w, uint8_t opcode2, int reg, int rm) {  // 0F-prefixed
+    rex(w, reg, 0, rm);
+    u8(0x0F);
+    u8(opcode2);
+    modrm_reg(reg, rm);
+  }
+  void gi(bool w, int ext, int rm, int32_t imm) {
+    rex(w, 0, 0, rm);
+    if (imm >= -128 && imm <= 127) {
+      u8(0x83);
+      modrm_reg(ext, rm);
+      u8(static_cast<uint8_t>(imm));
+    } else {
+      u8(0x81);
+      modrm_reg(ext, rm);
+      u32(static_cast<uint32_t>(imm));
+    }
+  }
+  void grp3(bool w, int ext, int rm) {
+    rex(w, 0, 0, rm);
+    u8(0xF7);
+    modrm_reg(ext, rm);
+  }
+
+  std::vector<uint8_t> bytes_;
+};
+
+}  // namespace hermes::bpf::jit

@@ -1,0 +1,93 @@
+// Tier-3 JIT for the eBPF dispatch VM: compiles an ExecutionPlan's
+// micro-op stream (bpf/plan.h) — fused superinstructions and verifier-
+// elided accesses included — to native x86-64 in an mmap'd W^X buffer.
+//
+// Contract: generated code is bit-identical to the tier-1/2 micro-op
+// interpreter (bpf/plan_exec.cc) in every observable — r0, insns_executed
+// (tier-invariant; fused micro-ops charge their source instruction
+// counts), fused/elided counters, map bytes, and reuseport selection side
+// effects. tests/torture_bpf_diff_test.cc enforces this over >= 10k
+// fuzzed programs; tests/bpf_jit_test.cc covers the codegen edge cases.
+//
+// compile() refuses — returning nullptr with a human-readable reason —
+// on non-x86-64 hosts, when HERMES_BPF_JIT=off|0, when the buffer cannot
+// be mapped W^X, or on a micro-op it cannot translate. The caller
+// (compile_plan) then falls back to tier 2 and surfaces the reason
+// through ExecutionPlan/Vm (the bpf.jit_fallbacks counter).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <string>
+
+#include "bpf/plan.h"
+
+namespace hermes::bpf::jit {
+
+// Runtime block passed to generated code in rdi. Layout is ABI between
+// jit_x86.cc's emitter (offsetof-baked displacements) and the out-of-line
+// helpers; append-only.
+struct JitRt {
+  ReuseportCtx* ctx = nullptr;
+  uint8_t* stack = nullptr;  // base of the 512-byte BPF stack (set by the
+                             // generated prologue; lives in its frame)
+  const MemRegion* regions = nullptr;  // array-map stores (checked access)
+  uint64_t n_regions = 0;
+  const std::function<uint64_t()>* time_fn = nullptr;
+  const std::function<uint32_t()>* rand_fn = nullptr;
+  uint64_t insns = 0;   // written back at Exit (r12 holds it in-flight)
+  uint64_t fused = 0;   // fused superinstructions executed
+  uint64_t elided = 0;  // unchecked accesses executed
+};
+
+// An executable W^X code buffer. The mapping is RW only while compile()
+// copies the emitted bytes in; it is RX for the object's whole lifetime
+// and unmapped on destruction. Immutable after construction, so one
+// JitCode may run concurrently from many threads (each run gets its own
+// JitRt + stack).
+class JitCode {
+ public:
+  using Entry = uint64_t (*)(JitRt*);
+
+  JitCode(void* mem, size_t len) : mem_(mem), len_(len) {}
+  ~JitCode();
+  JitCode(const JitCode&) = delete;
+  JitCode& operator=(const JitCode&) = delete;
+
+  size_t code_bytes() const { return len_; }
+
+  // Execute. `regions` are the plan's hoisted array-map stores; time/rand
+  // feed the KtimeGetNs / GetPrandomU32 helpers (may be empty functions).
+  ExecutionPlan::ExecResult run(
+      ReuseportCtx& ctx, std::span<const MemRegion> regions,
+      const std::function<uint64_t()>& time_fn,
+      const std::function<uint32_t()>& rand_fn) const;
+
+ private:
+  void* mem_;
+  size_t len_;
+};
+
+// True when this process can JIT at all: x86-64 host and not disabled via
+// HERMES_BPF_JIT=off|0 (re-read per call — load-time only, not hot).
+bool available();
+
+// Compile a micro-op stream. nullptr + `reason` on refusal (see header
+// comment); never aborts on unsupported input.
+std::unique_ptr<JitCode> compile(std::span<const MicroOp> ops,
+                                 std::string* reason);
+
+// Total compile() entries in this process. Verifier-rejected programs
+// never reach compile_plan, so this must not move when a load fails
+// verification — tests/bpf_jit_test.cc pins that.
+uint64_t compile_attempts();
+
+namespace testing {
+// Force the W^X buffer allocation to fail, exercising the mmap-failure
+// fallback path without an actually-restricted environment.
+void force_alloc_failure(bool on);
+}  // namespace testing
+
+}  // namespace hermes::bpf::jit

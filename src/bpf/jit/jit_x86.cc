@@ -1,0 +1,981 @@
+// x86-64 codegen for the tier-3 JIT (see bpf/jit/jit.h for the contract).
+//
+// Register mapping (kernel-JIT style — BPF argument registers land on the
+// System V argument registers so helper calls are register shuffles, not
+// spills):
+//
+//   BPF r0..r5  -> rax rdi rsi rdx rcx r8   (caller-saved; spilled around
+//                                            out-of-line helper calls)
+//   BPF r6..r9  -> rbx r13 r14 r15          (callee-saved)
+//   BPF r10     -> rbp                      (frame pointer, read-only)
+//   r12         -> live insns_executed counter (callee-saved)
+//   r9 r10 r11  -> codegen scratch, never live across a micro-op
+//
+// Frame (rsp 16-byte aligned after the prologue, so calls are ABI-legal):
+//
+//   [rsp+  0.. 47]  six spill slots (rax rdi rsi rdx rcx r8)
+//   [rsp+ 48]       JitRt*
+//   [rsp+ 64..575]  the 512-byte BPF stack, zeroed by 32 movaps stores
+//
+// Instruction accounting is tier-invariant: source-instruction counts
+// (fused micro-ops charge 19/4/3) accumulate statically per straight-line
+// run and are flushed — add r12, imm / add qword [rt], imm — before every
+// branch, at every jump target, and at Exit. The budget check runs on
+// backward jumps only, which bounds every loop exactly like the threaded
+// interpreter's taken-jump check does.
+//
+// Every memory access the verifier proved lands inline (mov with disp);
+// unproven (range-dead) accesses and unpinned helper calls go through
+// out-of-line C++ helpers that replicate bpf/plan_exec.cc's checked
+// semantics byte for byte, JitRt* in hand.
+#include "bpf/jit/jit.h"
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <atomic>
+#include <vector>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/mman.h>
+#endif
+
+#include "bpf/jit/codegen.h"
+#include "bpf/maps.h"
+#include "util/check.h"
+
+namespace hermes::bpf::jit {
+
+namespace {
+
+std::atomic<uint64_t> g_compile_attempts{0};
+std::atomic<bool> g_force_alloc_failure{false};
+
+bool env_disabled() {
+  const char* e = std::getenv("HERMES_BPF_JIT");
+  return e != nullptr &&
+         (std::strcmp(e, "0") == 0 || std::strcmp(e, "off") == 0);
+}
+
+// ---------------------------------------------------------------------
+// Out-of-line runtime helpers. Bodies mirror bpf/plan_exec.cc exactly;
+// addresses are baked into the generated code as movabs immediates.
+// ---------------------------------------------------------------------
+
+[[noreturn]] void rt_budget_abort() {
+  HERMES_CHECK_MSG(false, "bpf vm: instruction budget exceeded");
+  std::abort();
+}
+
+[[noreturn]] void rt_unknown_helper() {
+  HERMES_CHECK_MSG(false, "bpf vm: unknown helper at runtime");
+  std::abort();
+}
+
+[[noreturn]] void rt_unresolved_ldmapfd() {
+  HERMES_CHECK_MSG(false, "bpf plan: unresolved LdMapFd micro-op");
+  std::abort();
+}
+
+[[noreturn]] void rt_fell_off_end() {
+  HERMES_CHECK_MSG(false, "bpf jit: fell off program end");
+  std::abort();
+}
+
+uint8_t* rt_check_access(JitRt* rt, uint64_t addr, uint64_t n) {
+  auto* p = reinterpret_cast<uint8_t*>(addr);
+  const auto in = [&](const uint8_t* base, size_t size) {
+    return p >= base && p + n <= base + size;
+  };
+  if (in(rt->stack, kStackSize)) return p;
+  if (in(reinterpret_cast<uint8_t*>(rt->ctx), kCtxReadableBytes)) return p;
+  for (uint64_t i = 0; i < rt->n_regions; ++i) {
+    if (in(rt->regions[i].base, rt->regions[i].size)) return p;
+  }
+  HERMES_CHECK_MSG(false, "bpf vm: runtime memory access violation");
+  std::abort();
+}
+
+uint64_t rt_call_lookup(JitRt* rt, uint64_t r1, uint64_t r2) {
+  ArrayMap* am = as_array_map(reinterpret_cast<Map*>(r1));
+  HERMES_CHECK(am != nullptr);
+  uint32_t key;
+  std::memcpy(&key, rt_check_access(rt, r2, 4), 4);
+  return reinterpret_cast<uint64_t>(am->lookup(key));
+}
+
+uint64_t rt_call_update(JitRt* rt, uint64_t r1, uint64_t r2, uint64_t r3) {
+  ArrayMap* am = as_array_map(reinterpret_cast<Map*>(r1));
+  HERMES_CHECK(am != nullptr);
+  uint32_t key;
+  std::memcpy(&key, rt_check_access(rt, r2, 4), 4);
+  const uint8_t* val = rt_check_access(rt, r3, am->value_size());
+  return am->update(key, val) ? 0 : static_cast<uint64_t>(-1);
+}
+
+uint64_t rt_call_select(JitRt* rt, uint64_t r1, uint64_t r2, uint64_t r3) {
+  auto* rc = reinterpret_cast<ReuseportCtx*>(r1);
+  ReuseportSockArray* sa = as_sock_array(reinterpret_cast<Map*>(r2));
+  HERMES_CHECK(sa != nullptr);
+  uint32_t key;
+  std::memcpy(&key, rt_check_access(rt, r3, 4), 4);
+  const uint64_t cookie = sa->get(key);
+  if (cookie == kNoSocket) return static_cast<uint64_t>(-2);  // -ENOENT
+  rc->selected_socket = cookie;
+  rc->selection_made = true;
+  return 0;
+}
+
+uint64_t rt_update_nc(ArrayMap* am, const uint8_t* key_p,
+                      const uint8_t* val_p) {
+  uint32_t key;
+  std::memcpy(&key, key_p, 4);
+  return am->update(key, val_p) ? 0 : static_cast<uint64_t>(-1);
+}
+
+uint64_t rt_time(JitRt* rt) {
+  return (rt->time_fn != nullptr && *rt->time_fn) ? (*rt->time_fn)() : 0;
+}
+
+uint64_t rt_rand(JitRt* rt) {
+  return (rt->rand_fn != nullptr && *rt->rand_fn) ? (*rt->rand_fn)() : 0;
+}
+
+template <typename F>
+uint64_t fn_addr(F* f) {
+  return reinterpret_cast<uint64_t>(f);
+}
+
+#if defined(__x86_64__)
+
+// BPF register -> x86 register.
+constexpr int kRegMap[kNumRegs] = {RAX, RDI, RSI, RDX, RCX, R8,
+                                   RBX, R13, R14, R15, RBP};
+constexpr int kS0 = R9, kS1 = R10, kS2 = R11;
+constexpr int kCounter = R12;
+
+// Frame layout (see header comment).
+constexpr int32_t kSaveRax = 0, kSaveRdi = 8, kSaveRsi = 16, kSaveRdx = 24,
+                  kSaveRcx = 32, kSaveR8 = 40;
+constexpr int32_t kRtSlot = 48;
+constexpr int32_t kBpfStack = 64;
+constexpr int32_t kFrameSize = 584;  // 8 mod 16: rsp aligned after 6 pushes
+
+constexpr int32_t kOffCtx = offsetof(JitRt, ctx);
+constexpr int32_t kOffStack = offsetof(JitRt, stack);
+constexpr int32_t kOffInsns = offsetof(JitRt, insns);
+constexpr int32_t kOffFused = offsetof(JitRt, fused);
+constexpr int32_t kOffElided = offsetof(JitRt, elided);
+constexpr int32_t kOffSelSock = offsetof(ReuseportCtx, selected_socket);
+constexpr int32_t kOffSelMade = offsetof(ReuseportCtx, selection_made);
+
+bool fits_i32(int64_t v) { return v >= INT32_MIN && v <= INT32_MAX; }
+
+bool is_jump_code(uint16_t c) {
+  return c >= static_cast<uint16_t>(Op::Ja) &&
+         c <= static_cast<uint16_t>(Op::JsetImm);
+}
+
+class Compiler {
+ public:
+  explicit Compiler(std::span<const MicroOp> ops) : ops_(ops) {}
+
+  bool compile() {
+    const size_t n = ops_.size();
+    std::vector<uint8_t> is_target(n, 0);
+    for (const MicroOp& u : ops_) {
+      if (is_jump_code(u.code)) {
+        if (u.target >= n) return fail("jump target out of range");
+        is_target[u.target] = 1;
+      }
+    }
+    emit_prologue();
+    code_off_.resize(n);
+    for (size_t i = 0; i < n; ++i) {
+      if (is_target[i] != 0) flush_pending();
+      code_off_[i] = b_.size();
+      if (!emit_uop(ops_[i], static_cast<uint32_t>(i))) return false;
+    }
+    // Verified programs exit before the end; trap if one somehow doesn't.
+    b_.call_imm64(fn_addr(&rt_fell_off_end));
+    for (const Fixup& f : fixups_) {
+      b_.patch_rel32(f.pos, code_off_[f.target]);
+    }
+    return true;
+  }
+
+  const CodeBuf& buf() const { return b_; }
+  const std::string& error() const { return error_; }
+
+ private:
+  struct Fixup {
+    size_t pos;       // byte offset of the rel32 field
+    uint32_t target;  // micro-op index
+  };
+
+  bool fail(const char* msg) {
+    error_ = msg;
+    return false;
+  }
+
+  static int xr(uint8_t bpf_reg) { return kRegMap[bpf_reg]; }
+
+  // --- instruction accounting -----------------------------------------
+  void charge(uint32_t insns) { pending_insns_ += insns; }
+
+  void flush_pending() {
+    if (pending_insns_ != 0) {
+      b_.alu_ri64(0, kCounter, static_cast<int32_t>(pending_insns_));
+      pending_insns_ = 0;
+    }
+    if (pending_fused_ != 0 || pending_elided_ != 0) {
+      b_.load64(kS2, RSP, kRtSlot);
+      if (pending_fused_ != 0) {
+        b_.add_mem_imm64(kS2, kOffFused, static_cast<int32_t>(pending_fused_));
+        pending_fused_ = 0;
+      }
+      if (pending_elided_ != 0) {
+        b_.add_mem_imm64(kS2, kOffElided,
+                         static_cast<int32_t>(pending_elided_));
+        pending_elided_ = 0;
+      }
+    }
+  }
+
+  void emit_budget_check() {
+    b_.alu_ri64(7, kCounter, static_cast<int32_t>(kMaxInsnsExecuted));
+    const size_t ok = b_.jcc_rel8(CC_B);
+    b_.call_imm64(fn_addr(&rt_budget_abort));
+    b_.patch_rel8(ok);
+  }
+
+  // --- prologue / epilogue --------------------------------------------
+  void emit_prologue() {
+    b_.push_r(RBP);
+    b_.push_r(RBX);
+    b_.push_r(R12);
+    b_.push_r(R13);
+    b_.push_r(R14);
+    b_.push_r(R15);
+    b_.alu_ri64(5, RSP, kFrameSize);  // sub
+    b_.store64(RSP, kRtSlot, RDI);
+    // Zero the BPF stack (rsp is 16-aligned here, so movaps is legal).
+    b_.xorps0();
+    for (int32_t off = 0; off < static_cast<int32_t>(kStackSize); off += 16) {
+      b_.movaps_store0(RSP, kBpfStack + off);
+    }
+    b_.lea(kS0, RSP, kBpfStack);
+    b_.store64(RDI, kOffStack, kS0);  // rt->stack, for checked accesses
+    b_.load64(kS1, RDI, kOffCtx);     // fetch ctx before rdi becomes r1
+    b_.xor_zero32(kCounter);
+    b_.xor_zero32(RAX);  // r0
+    b_.xor_zero32(RSI);  // r2
+    b_.xor_zero32(RDX);  // r3
+    b_.xor_zero32(RCX);  // r4
+    b_.xor_zero32(R8);   // r5
+    b_.xor_zero32(RBX);  // r6
+    b_.xor_zero32(R13);  // r7
+    b_.xor_zero32(R14);  // r8
+    b_.xor_zero32(R15);  // r9
+    b_.mov_rr64(RDI, kS1);  // r1 = ctx
+    b_.lea(RBP, RSP, kBpfStack + static_cast<int32_t>(kStackSize));  // r10
+  }
+
+  void emit_epilogue() {
+    b_.load64(kS2, RSP, kRtSlot);
+    b_.store64(kS2, kOffInsns, kCounter);
+    b_.alu_ri64(0, RSP, kFrameSize);  // add
+    b_.pop_r(R15);
+    b_.pop_r(R14);
+    b_.pop_r(R13);
+    b_.pop_r(R12);
+    b_.pop_r(RBX);
+    b_.pop_r(RBP);
+    b_.ret();
+  }
+
+  // --- helper-call plumbing -------------------------------------------
+  void save_bpf_caller_saved() {
+    b_.store64(RSP, kSaveRax, RAX);
+    b_.store64(RSP, kSaveRdi, RDI);
+    b_.store64(RSP, kSaveRsi, RSI);
+    b_.store64(RSP, kSaveRdx, RDX);
+    b_.store64(RSP, kSaveRcx, RCX);
+    b_.store64(RSP, kSaveR8, R8);
+  }
+  void restore_bpf_caller_saved(bool keep_rax) {
+    if (!keep_rax) b_.load64(RAX, RSP, kSaveRax);
+    b_.load64(RDI, RSP, kSaveRdi);
+    b_.load64(RSI, RSP, kSaveRsi);
+    b_.load64(RDX, RSP, kSaveRdx);
+    b_.load64(RCX, RSP, kSaveRcx);
+    b_.load64(R8, RSP, kSaveR8);
+  }
+
+  // Bounds-checked address: r9 = rt_check_access(rt, base_reg + off, n).
+  // Preserves every BPF register (including rax).
+  void emit_checked_access(int base_x86, int32_t off, uint32_t n) {
+    save_bpf_caller_saved();
+    b_.lea(RSI, base_x86, off);  // wraps mod 2^64, like S + ip->off
+    b_.mov_ri(RDX, n);
+    b_.load64(RDI, RSP, kRtSlot);
+    b_.call_imm64(fn_addr(&rt_check_access));
+    b_.mov_rr64(kS0, RAX);
+    restore_bpf_caller_saved(/*keep_rax=*/false);
+  }
+
+  // rt-taking helper with BPF r1..rN forwarded: shuffles the argument
+  // registers down one slot (riN+1 <- riN) and puts JitRt* in rdi.
+  void emit_rt_call(uint64_t fn, int n_bpf_args) {
+    save_bpf_caller_saved();
+    if (n_bpf_args >= 3) b_.mov_rr64(RCX, RDX);  // arg4 = r3
+    if (n_bpf_args >= 2) b_.mov_rr64(RDX, RSI);  // arg3 = r2
+    if (n_bpf_args >= 1) b_.mov_rr64(RSI, RDI);  // arg2 = r1
+    b_.load64(RDI, RSP, kRtSlot);
+    b_.call_imm64(fn);
+    restore_bpf_caller_saved(/*keep_rax=*/true);  // rax = BPF r0 result
+  }
+
+  // --- small emit utilities -------------------------------------------
+  // Group-1 64-bit ALU with a 64-bit immediate (ext: 0=add 1=or 4=and
+  // 5=sub 6=xor 7=cmp). Falls back to movabs + reg form for wide imms.
+  void g1_ri64(int ext, int dst, int64_t imm) {
+    if (fits_i32(imm)) {
+      b_.alu_ri64(ext, dst, static_cast<int32_t>(imm));
+      return;
+    }
+    b_.mov_ri(kS0, static_cast<uint64_t>(imm));
+    switch (ext) {
+      case 0: b_.add_rr64(dst, kS0); break;
+      case 1: b_.or_rr64(dst, kS0); break;
+      case 4: b_.and_rr64(dst, kS0); break;
+      case 5: b_.sub_rr64(dst, kS0); break;
+      case 6: b_.xor_rr64(dst, kS0); break;
+      case 7: b_.cmp_rr64(dst, kS0); break;
+      default: HERMES_CHECK(false);
+    }
+  }
+
+  void cmp_ri64(int reg, uint64_t v) {
+    if (fits_i32(static_cast<int64_t>(v))) {
+      b_.alu_ri64(7, reg, static_cast<int32_t>(v));
+    } else {
+      b_.mov_ri(kS1, v);
+      b_.cmp_rr64(reg, kS1);
+    }
+  }
+
+  // D op= imm in 32-bit space (auto zero-extend); imm truncated to u32.
+  void g1_ri32(int ext, int dst, int64_t imm) {
+    b_.alu_ri32(ext, dst, static_cast<int32_t>(static_cast<uint32_t>(imm)));
+  }
+
+  // dst = dst <shift> count-reg with BPF rcx discipline.
+  void emit_shift_reg(bool w64, int ext, int dst, int src) {
+    b_.mov_rr64(kS0, RCX);  // save BPF r4
+    if (w64) {
+      b_.mov_rr64(kS1, dst);
+    } else {
+      b_.mov_rr32(kS1, dst);
+    }
+    b_.mov_rr64(RCX, src);  // cl = count (hardware masks 63/31)
+    b_.shift_cl(w64, ext, kS1);
+    b_.mov_rr64(RCX, kS0);
+    b_.mov_rr64(dst, kS1);
+  }
+
+  // Unsigned div/mod with BPF zero semantics (x/0 = 0, x%0 = x).
+  void emit_div(bool w64, bool is_mod, int dst, bool src_is_imm, int src,
+                int64_t imm) {
+    if (src_is_imm) {
+      b_.mov_ri(kS0, w64 ? static_cast<uint64_t>(imm)
+                         : static_cast<uint64_t>(static_cast<uint32_t>(imm)));
+    } else if (w64) {
+      b_.mov_rr64(kS0, src);
+    } else {
+      b_.mov_rr32(kS0, src);
+    }
+    b_.mov_rr64(kS1, RAX);
+    b_.mov_rr64(kS2, RDX);
+    if (w64) {
+      b_.test_rr64(kS0, kS0);
+    } else {
+      b_.test_rr32(kS0, kS0);
+    }
+    const size_t zero = b_.jcc_rel8(CC_E);
+    if (w64) {
+      b_.mov_rr64(RAX, dst);
+    } else {
+      b_.mov_rr32(RAX, dst);
+    }
+    b_.xor_zero32(RDX);
+    b_.div_r(w64, kS0);
+    if (w64) {
+      b_.mov_rr64(kS0, is_mod ? RDX : RAX);
+    } else {
+      b_.mov_rr32(kS0, is_mod ? RDX : RAX);
+    }
+    const size_t done = b_.jmp_rel8();
+    b_.patch_rel8(zero);
+    if (is_mod) {
+      if (w64) {
+        b_.mov_rr64(kS0, dst);  // x % 0 = x (truncated to u32 in ALU32)
+      } else {
+        b_.mov_rr32(kS0, dst);
+      }
+    } else {
+      b_.xor_zero32(kS0);  // x / 0 = 0
+    }
+    b_.patch_rel8(done);
+    b_.mov_rr64(RAX, kS1);
+    b_.mov_rr64(RDX, kS2);
+    b_.mov_rr64(dst, kS0);
+  }
+
+  // Jump: charge + flush happen before the compare is emitted (the flush
+  // clobbers flags); backward edges get the budget check on the taken
+  // path only, mirroring plan_exec's JUMP macro.
+  void emit_jump(uint32_t target, uint32_t idx) {
+    if (target > idx) {
+      fixups_.push_back({b_.jmp_rel32(), target});
+    } else {
+      emit_budget_check();
+      fixups_.push_back({b_.jmp_rel32(), target});
+    }
+  }
+  void emit_branch(uint8_t cc, uint32_t target, uint32_t idx) {
+    if (target > idx) {
+      fixups_.push_back({b_.jcc_rel32(cc), target});
+    } else {
+      const size_t skip = b_.jcc_rel8(cc_invert(cc));
+      emit_budget_check();
+      fixups_.push_back({b_.jmp_rel32(), target});
+      b_.patch_rel8(skip);
+    }
+  }
+
+  // --- the translator --------------------------------------------------
+  bool emit_uop(const MicroOp& u, uint32_t idx);
+  bool emit_op(Op op, const MicroOp& u, uint32_t idx);
+
+  std::span<const MicroOp> ops_;
+  CodeBuf b_;
+  std::vector<size_t> code_off_;
+  std::vector<Fixup> fixups_;
+  std::string error_;
+  uint32_t pending_insns_ = 0;
+  uint32_t pending_fused_ = 0;
+  uint32_t pending_elided_ = 0;
+};
+
+bool Compiler::emit_op(Op op, const MicroOp& u, uint32_t idx) {
+  const int D = xr(u.dst);
+  const int S = xr(u.src);
+  const int64_t imm = u.imm;
+  charge(1);
+  switch (op) {
+    case Op::AddReg: b_.add_rr64(D, S); break;
+    case Op::AddImm: g1_ri64(0, D, imm); break;
+    case Op::SubReg: b_.sub_rr64(D, S); break;
+    case Op::SubImm: g1_ri64(5, D, imm); break;
+    case Op::MulReg: b_.imul_rr64(D, S); break;
+    case Op::MulImm:
+      if (fits_i32(imm)) {
+        b_.imul_rri(true, D, D, static_cast<int32_t>(imm));
+      } else {
+        b_.mov_ri(kS0, static_cast<uint64_t>(imm));
+        b_.imul_rr64(D, kS0);
+      }
+      break;
+    case Op::DivReg: emit_div(true, false, D, false, S, 0); break;
+    case Op::DivImm: emit_div(true, false, D, true, 0, imm); break;
+    case Op::ModReg: emit_div(true, true, D, false, S, 0); break;
+    case Op::ModImm: emit_div(true, true, D, true, 0, imm); break;
+    case Op::AndReg: b_.and_rr64(D, S); break;
+    case Op::AndImm: g1_ri64(4, D, imm); break;
+    case Op::OrReg: b_.or_rr64(D, S); break;
+    case Op::OrImm: g1_ri64(1, D, imm); break;
+    case Op::XorReg: b_.xor_rr64(D, S); break;
+    case Op::XorImm: g1_ri64(6, D, imm); break;
+    case Op::LshReg: emit_shift_reg(true, 4, D, S); break;
+    case Op::LshImm: b_.shift_ri(true, 4, D, imm & 63); break;
+    case Op::RshReg: emit_shift_reg(true, 5, D, S); break;
+    case Op::RshImm: b_.shift_ri(true, 5, D, imm & 63); break;
+    case Op::ArshReg: emit_shift_reg(true, 7, D, S); break;
+    case Op::ArshImm: b_.shift_ri(true, 7, D, imm & 63); break;
+    case Op::Neg: b_.neg_r64(D); break;
+    case Op::MovReg: b_.mov_rr64(D, S); break;
+    case Op::MovImm: b_.mov_ri(D, static_cast<uint64_t>(imm)); break;
+
+    case Op::Add32Reg: b_.add_rr32(D, S); break;
+    case Op::Add32Imm: g1_ri32(0, D, imm); break;
+    case Op::Sub32Reg: b_.sub_rr32(D, S); break;
+    case Op::Sub32Imm: g1_ri32(5, D, imm); break;
+    case Op::Mul32Reg: b_.imul_rr32(D, S); break;
+    case Op::Mul32Imm:
+      b_.imul_rri(false, D, D,
+                  static_cast<int32_t>(static_cast<uint32_t>(imm)));
+      break;
+    case Op::Div32Reg: emit_div(false, false, D, false, S, 0); break;
+    case Op::Div32Imm: emit_div(false, false, D, true, 0, imm); break;
+    case Op::Mod32Reg: emit_div(false, true, D, false, S, 0); break;
+    case Op::Mod32Imm: emit_div(false, true, D, true, 0, imm); break;
+    case Op::And32Reg: b_.and_rr32(D, S); break;
+    case Op::And32Imm: g1_ri32(4, D, imm); break;
+    case Op::Or32Reg: b_.or_rr32(D, S); break;
+    case Op::Or32Imm: g1_ri32(1, D, imm); break;
+    case Op::Xor32Reg: b_.xor_rr32(D, S); break;
+    case Op::Xor32Imm: g1_ri32(6, D, imm); break;
+    case Op::Lsh32Reg: emit_shift_reg(false, 4, D, S); break;
+    case Op::Lsh32Imm: b_.shift_ri(false, 4, D, imm & 31); break;
+    case Op::Rsh32Reg: emit_shift_reg(false, 5, D, S); break;
+    case Op::Rsh32Imm: b_.shift_ri(false, 5, D, imm & 31); break;
+    case Op::Arsh32Reg: emit_shift_reg(false, 7, D, S); break;
+    case Op::Arsh32Imm: b_.shift_ri(false, 7, D, imm & 31); break;
+    case Op::Neg32: b_.neg_r32(D); break;
+    case Op::Mov32Reg: b_.mov_rr32(D, S); break;
+    case Op::Mov32Imm:
+      b_.mov_ri(D, static_cast<uint32_t>(imm));
+      break;
+    case Op::LdImm64: b_.mov_ri(D, static_cast<uint64_t>(imm)); break;
+
+    case Op::LdMapFd:
+      // compile_plan always rewrites this to ULdMapPtr.
+      b_.call_imm64(fn_addr(&rt_unresolved_ldmapfd));
+      break;
+
+    // Checked memory: out-of-line bounds check, then the access itself.
+    case Op::LdxB:
+      emit_checked_access(S, u.off, 1);
+      b_.load8(D, kS0, 0);
+      break;
+    case Op::LdxH:
+      emit_checked_access(S, u.off, 2);
+      b_.load16(D, kS0, 0);
+      break;
+    case Op::LdxW:
+      emit_checked_access(S, u.off, 4);
+      b_.load32(D, kS0, 0);
+      break;
+    case Op::LdxDW:
+      emit_checked_access(S, u.off, 8);
+      b_.load64(D, kS0, 0);
+      break;
+    case Op::StxB:
+      emit_checked_access(D, u.off, 1);
+      b_.store8(kS0, 0, S);
+      break;
+    case Op::StxH:
+      emit_checked_access(D, u.off, 2);
+      b_.store16(kS0, 0, S);
+      break;
+    case Op::StxW:
+      emit_checked_access(D, u.off, 4);
+      b_.store32(kS0, 0, S);
+      break;
+    case Op::StxDW:
+      emit_checked_access(D, u.off, 8);
+      b_.store64(kS0, 0, S);
+      break;
+    case Op::StB:
+      emit_checked_access(D, u.off, 1);
+      b_.store8_imm(kS0, 0, static_cast<uint8_t>(imm));
+      break;
+    case Op::StH:
+      emit_checked_access(D, u.off, 2);
+      b_.store16_imm(kS0, 0, static_cast<uint16_t>(imm));
+      break;
+    case Op::StW:
+      emit_checked_access(D, u.off, 4);
+      b_.store32_imm(kS0, 0, static_cast<uint32_t>(imm));
+      break;
+    case Op::StDW:
+      emit_checked_access(D, u.off, 8);
+      if (fits_i32(imm)) {
+        b_.store64_simm32(kS0, 0, static_cast<int32_t>(imm));
+      } else {
+        b_.mov_ri(kS1, static_cast<uint64_t>(imm));
+        b_.store64(kS0, 0, kS1);
+      }
+      break;
+
+    case Op::Ja:
+      flush_pending();
+      emit_jump(u.target, idx);
+      break;
+
+#define HERMES_JIT_BRANCH_RR(opname, cc)    \
+  case Op::opname:                          \
+    flush_pending();                        \
+    b_.cmp_rr64(D, S);                      \
+    emit_branch(cc, u.target, idx);         \
+    break
+#define HERMES_JIT_BRANCH_RI(opname, cc)    \
+  case Op::opname:                          \
+    flush_pending();                        \
+    cmp_ri64(D, static_cast<uint64_t>(imm)); \
+    emit_branch(cc, u.target, idx);         \
+    break
+
+    HERMES_JIT_BRANCH_RR(JeqReg, CC_E);
+    HERMES_JIT_BRANCH_RI(JeqImm, CC_E);
+    HERMES_JIT_BRANCH_RR(JneReg, CC_NE);
+    HERMES_JIT_BRANCH_RI(JneImm, CC_NE);
+    HERMES_JIT_BRANCH_RR(JgtReg, CC_A);
+    HERMES_JIT_BRANCH_RI(JgtImm, CC_A);
+    HERMES_JIT_BRANCH_RR(JgeReg, CC_AE);
+    HERMES_JIT_BRANCH_RI(JgeImm, CC_AE);
+    HERMES_JIT_BRANCH_RR(JltReg, CC_B);
+    HERMES_JIT_BRANCH_RI(JltImm, CC_B);
+    HERMES_JIT_BRANCH_RR(JleReg, CC_BE);
+    HERMES_JIT_BRANCH_RI(JleImm, CC_BE);
+    HERMES_JIT_BRANCH_RR(JsgtReg, CC_G);
+    HERMES_JIT_BRANCH_RI(JsgtImm, CC_G);
+    HERMES_JIT_BRANCH_RR(JsgeReg, CC_GE);
+    HERMES_JIT_BRANCH_RI(JsgeImm, CC_GE);
+    HERMES_JIT_BRANCH_RR(JsltReg, CC_L);
+    HERMES_JIT_BRANCH_RI(JsltImm, CC_L);
+    HERMES_JIT_BRANCH_RR(JsleReg, CC_LE);
+    HERMES_JIT_BRANCH_RI(JsleImm, CC_LE);
+#undef HERMES_JIT_BRANCH_RR
+#undef HERMES_JIT_BRANCH_RI
+
+    case Op::JsetReg:
+      flush_pending();
+      b_.test_rr64(D, S);
+      emit_branch(CC_NE, u.target, idx);
+      break;
+    case Op::JsetImm:
+      flush_pending();
+      if (fits_i32(imm)) {
+        b_.test_ri64(D, static_cast<int32_t>(imm));
+      } else {
+        b_.mov_ri(kS0, static_cast<uint64_t>(imm));
+        b_.test_rr64(D, kS0);
+      }
+      emit_branch(CC_NE, u.target, idx);
+      break;
+
+    case Op::Call:
+      // Only emitted for an unknown helper id at a range-dead pc.
+      b_.call_imm64(fn_addr(&rt_unknown_helper));
+      break;
+
+    case Op::Exit:
+      flush_pending();
+      emit_epilogue();
+      break;
+  }
+  return true;
+}
+
+bool Compiler::emit_uop(const MicroOp& u, uint32_t idx) {
+  if (u.code < kOpCount) return emit_op(static_cast<Op>(u.code), u, idx);
+
+  const int D = xr(u.dst);
+  const int S = xr(u.src);
+  switch (u.code) {
+    case ULdMapPtr:
+      charge(1);
+      b_.mov_ri(D, static_cast<uint64_t>(u.imm));
+      break;
+
+    case UPopcount: {
+      // Exact final state of the 19-insn sequence: dst = popcount(v),
+      // src = b >> 4, aux = 0x0101010101010101 (plan_exec's UPopcount).
+      const int A = xr(u.aux);
+      charge(19);
+      ++pending_fused_;
+      b_.mov_rr64(kS0, S);
+      b_.shift_ri(true, 5, kS0, 1);
+      b_.mov_ri(kS1, 0x5555555555555555ull);
+      b_.and_rr64(kS0, kS1);
+      b_.mov_rr64(kS2, S);
+      b_.sub_rr64(kS2, kS0);  // a
+      b_.mov_rr64(kS0, kS2);
+      b_.shift_ri(true, 5, kS0, 2);
+      b_.mov_ri(kS1, 0x3333333333333333ull);
+      b_.and_rr64(kS0, kS1);
+      b_.and_rr64(kS2, kS1);
+      b_.add_rr64(kS2, kS0);  // b
+      b_.mov_rr64(kS0, kS2);
+      b_.shift_ri(true, 5, kS0, 4);  // b >> 4
+      b_.mov_rr64(S, kS0);
+      b_.add_rr64(kS0, kS2);  // b + (b >> 4)
+      b_.mov_ri(kS1, 0x0f0f0f0f0f0f0f0full);
+      b_.and_rr64(kS0, kS1);
+      b_.mov_ri(kS1, 0x0101010101010101ull);
+      b_.imul_rr64(kS0, kS1);
+      b_.shift_ri(true, 5, kS0, 56);
+      b_.mov_rr64(D, kS0);
+      b_.mov_ri(A, 0x0101010101010101ull);
+      break;
+    }
+
+    case UBlsr:
+      // dst &= dst - 1; src = dst_old - 1 (3 source insns).
+      charge(3);
+      ++pending_fused_;
+      b_.lea(kS0, D, -1);
+      b_.mov_rr64(S, kS0);
+      b_.and_rr64(D, kS0);
+      break;
+
+    case UIsolateLow:
+      // dst = ((0 - v) & v) - 1, v = src (4 source insns).
+      charge(4);
+      ++pending_fused_;
+      b_.mov_rr64(kS0, S);
+      b_.neg_r64(kS0);
+      b_.and_rr64(kS0, S);
+      b_.lea(D, kS0, -1);
+      break;
+
+    // Verifier-proven memory accesses: a bare mov.
+    case ULdxBNC:
+      charge(1);
+      ++pending_elided_;
+      b_.load8(D, S, u.off);
+      break;
+    case ULdxHNC:
+      charge(1);
+      ++pending_elided_;
+      b_.load16(D, S, u.off);
+      break;
+    case ULdxWNC:
+      charge(1);
+      ++pending_elided_;
+      b_.load32(D, S, u.off);
+      break;
+    case ULdxDWNC:
+      charge(1);
+      ++pending_elided_;
+      b_.load64(D, S, u.off);
+      break;
+    case UStxBNC:
+      charge(1);
+      ++pending_elided_;
+      b_.store8(D, u.off, S);
+      break;
+    case UStxHNC:
+      charge(1);
+      ++pending_elided_;
+      b_.store16(D, u.off, S);
+      break;
+    case UStxWNC:
+      charge(1);
+      ++pending_elided_;
+      b_.store32(D, u.off, S);
+      break;
+    case UStxDWNC:
+      charge(1);
+      ++pending_elided_;
+      b_.store64(D, u.off, S);
+      break;
+    case UStBNC:
+      charge(1);
+      ++pending_elided_;
+      b_.store8_imm(D, u.off, static_cast<uint8_t>(u.imm));
+      break;
+    case UStHNC:
+      charge(1);
+      ++pending_elided_;
+      b_.store16_imm(D, u.off, static_cast<uint16_t>(u.imm));
+      break;
+    case UStWNC:
+      charge(1);
+      ++pending_elided_;
+      b_.store32_imm(D, u.off, static_cast<uint32_t>(u.imm));
+      break;
+    case UStDWNC:
+      charge(1);
+      ++pending_elided_;
+      if (fits_i32(u.imm)) {
+        b_.store64_simm32(D, u.off, static_cast<int32_t>(u.imm));
+      } else {
+        b_.mov_ri(kS0, static_cast<uint64_t>(u.imm));
+        b_.store64(D, u.off, kS0);
+      }
+      break;
+
+    case UCallLookup:
+      charge(1);
+      emit_rt_call(fn_addr(&rt_call_lookup), 2);
+      break;
+    case UCallUpdate:
+      charge(1);
+      emit_rt_call(fn_addr(&rt_call_update), 3);
+      break;
+    case UCallSelect:
+      charge(1);
+      emit_rt_call(fn_addr(&rt_call_select), 3);
+      break;
+    case UCallTime:
+      charge(1);
+      emit_rt_call(fn_addr(&rt_time), 0);
+      break;
+    case UCallRand:
+      charge(1);
+      emit_rt_call(fn_addr(&rt_rand), 0);
+      break;
+
+    case UCallLookupNC: {
+      // Analysis pinned the map: bake base/max_entries/stride and inline
+      // the whole lookup (r0 = base + key*stride, or 0 when key OOB).
+      auto* am = reinterpret_cast<ArrayMap*>(static_cast<uintptr_t>(u.imm));
+      charge(1);
+      ++pending_elided_;
+      b_.load32(kS0, RSI, 0);  // key = *(u32*)r2 (proven in-bounds)
+      cmp_ri64(kS0, am->max_entries());
+      const size_t oob = b_.jcc_rel8(CC_AE);
+      b_.mov_ri_full(RAX, reinterpret_cast<uint64_t>(am->storage_base()));
+      b_.imul_rri(true, kS1, kS0, static_cast<int32_t>(am->stride()));
+      b_.add_rr64(RAX, kS1);
+      const size_t done = b_.jmp_rel8();
+      b_.patch_rel8(oob);
+      b_.xor_zero32(RAX);
+      b_.patch_rel8(done);
+      break;
+    }
+
+    case UCallUpdateNC: {
+      auto* am = reinterpret_cast<ArrayMap*>(static_cast<uintptr_t>(u.imm));
+      charge(1);
+      ++pending_elided_;
+      save_bpf_caller_saved();
+      // r2 (key ptr) and r3 (value ptr) already sit in rsi/rdx.
+      b_.mov_ri_full(RDI, reinterpret_cast<uint64_t>(am));
+      b_.call_imm64(fn_addr(&rt_update_nc));
+      restore_bpf_caller_saved(/*keep_rax=*/true);
+      break;
+    }
+
+    case UCallSelectNC: {
+      // Fully inline: cookie = slots[key] (plain 8-byte load — acquire on
+      // x86), write the selection through r1 (the ctx), r0 = 0 / -ENOENT.
+      auto* sa =
+          reinterpret_cast<ReuseportSockArray*>(static_cast<uintptr_t>(u.imm));
+      charge(1);
+      ++pending_elided_;
+      b_.load32(kS0, RDX, 0);  // key = *(u32*)r3 (proven in-bounds)
+      cmp_ri64(kS0, sa->max_entries());
+      const size_t oob = b_.jcc_rel8(CC_AE);
+      b_.mov_ri_full(kS1, reinterpret_cast<uint64_t>(sa->slots_data()));
+      b_.load64_index8(kS1, kS1, kS0);
+      const size_t have = b_.jmp_rel8();
+      b_.patch_rel8(oob);
+      b_.mov_ri(kS1, kNoSocket);
+      b_.patch_rel8(have);
+      b_.alu_ri64(7, kS1, -1);  // cookie == kNoSocket?
+      const size_t noent = b_.jcc_rel8(CC_E);
+      b_.store64(RDI, kOffSelSock, kS1);  // rc = r1 (rdi), like plan_exec
+      b_.store8_imm(RDI, kOffSelMade, 1);
+      b_.xor_zero32(RAX);
+      const size_t done = b_.jmp_rel8();
+      b_.patch_rel8(noent);
+      b_.mov_ri(RAX, static_cast<uint64_t>(-2));  // -ENOENT
+      b_.patch_rel8(done);
+      break;
+    }
+
+    default:
+      return fail("unsupported micro-op code");
+  }
+  return true;
+}
+
+#endif  // defined(__x86_64__)
+
+}  // namespace
+
+JitCode::~JitCode() {
+#if defined(__unix__) || defined(__APPLE__)
+  if (mem_ != nullptr) munmap(mem_, len_);
+#endif
+}
+
+ExecutionPlan::ExecResult JitCode::run(
+    ReuseportCtx& ctx, std::span<const MemRegion> regions,
+    const std::function<uint64_t()>& time_fn,
+    const std::function<uint32_t()>& rand_fn) const {
+  JitRt rt;
+  rt.ctx = &ctx;
+  rt.regions = regions.data();
+  rt.n_regions = regions.size();
+  rt.time_fn = &time_fn;
+  rt.rand_fn = &rand_fn;
+  const auto entry = reinterpret_cast<Entry>(mem_);
+  ExecutionPlan::ExecResult res;
+  res.ret = entry(&rt);
+  res.insns_executed = rt.insns;
+  res.fused_hits = static_cast<uint32_t>(rt.fused);
+  res.elided_checks = static_cast<uint32_t>(rt.elided);
+  return res;
+}
+
+bool available() {
+#if defined(__x86_64__)
+  return !env_disabled();
+#else
+  return false;
+#endif
+}
+
+uint64_t compile_attempts() {
+  return g_compile_attempts.load(std::memory_order_relaxed);
+}
+
+namespace testing {
+void force_alloc_failure(bool on) {
+  g_force_alloc_failure.store(on, std::memory_order_relaxed);
+}
+}  // namespace testing
+
+std::unique_ptr<JitCode> compile(std::span<const MicroOp> ops,
+                                 std::string* reason) {
+  g_compile_attempts.fetch_add(1, std::memory_order_relaxed);
+#if !defined(__x86_64__)
+  (void)ops;
+  if (reason != nullptr) *reason = "host is not x86-64";
+  return nullptr;
+#else
+  if (env_disabled()) {
+    if (reason != nullptr) *reason = "disabled by HERMES_BPF_JIT";
+    return nullptr;
+  }
+  Compiler c(ops);
+  if (!c.compile()) {
+    if (reason != nullptr) *reason = "codegen refused: " + c.error();
+    return nullptr;
+  }
+  const size_t len = c.buf().size();
+  // W^X lifecycle: the mapping is writable only between mmap and the
+  // mprotect flip below; it is executable-and-read-only ever after.
+  if (g_force_alloc_failure.load(std::memory_order_relaxed)) {
+    if (reason != nullptr) {
+      *reason = "mmap(RW) failed: forced by testing hook";
+    }
+    return nullptr;
+  }
+  void* mem = mmap(nullptr, len, PROT_READ | PROT_WRITE,
+                   MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  if (mem == MAP_FAILED) {
+    if (reason != nullptr) {
+      *reason = std::string("mmap(RW) failed: ") + std::strerror(errno);
+    }
+    return nullptr;
+  }
+  std::memcpy(mem, c.buf().data(), len);
+  if (mprotect(mem, len, PROT_READ | PROT_EXEC) != 0) {
+    const int err = errno;
+    munmap(mem, len);
+    if (reason != nullptr) {
+      *reason = std::string("mprotect(RX) failed: ") + std::strerror(err);
+    }
+    return nullptr;
+  }
+  return std::make_unique<JitCode>(mem, len);
+#endif
+}
+
+}  // namespace hermes::bpf::jit

@@ -8,15 +8,19 @@
 #include <cstdlib>
 
 #include "bpf/analysis/interp.h"
+#include "bpf/jit/jit.h"
 #include "util/check.h"
 
 namespace hermes::bpf {
+
+ExecutionPlan::~ExecutionPlan() = default;
 
 const char* to_string(ExecTier t) {
   switch (t) {
     case ExecTier::Interp: return "interp";
     case ExecTier::Threaded: return "threaded";
     case ExecTier::Elide: return "elide";
+    case ExecTier::Jit: return "jit";
   }
   return "?";
 }
@@ -27,6 +31,8 @@ ExecTier default_tier() {
     if (e != nullptr && e[0] != '\0' && e[1] == '\0') {
       if (e[0] == '0') return ExecTier::Interp;
       if (e[0] == '1') return ExecTier::Threaded;
+      if (e[0] == '2') return ExecTier::Elide;
+      if (e[0] == '3') return ExecTier::Jit;
     }
     return ExecTier::Elide;
   }();
@@ -185,7 +191,10 @@ std::unique_ptr<ExecutionPlan> compile_plan(
       if (h.pc < prog.size()) call_slot[h.pc] = h.map_slot;
     }
   }
-  const bool elide = tier == ExecTier::Elide && facts != nullptr;
+  // Tier 3 compiles the tier-2 (elided) micro-op stream to native code;
+  // elision licensing is identical.
+  const bool elide =
+      (tier == ExecTier::Elide || tier == ExecTier::Jit) && facts != nullptr;
 
   std::vector<uint32_t> uop_of_pc(prog.size(), kNoUop);
   struct Fixup {
@@ -320,6 +329,19 @@ std::unique_ptr<ExecutionPlan> compile_plan(
   }
 
   plan->stats_.n_uops = static_cast<uint32_t>(plan->ops_.size());
+
+  if (tier == ExecTier::Jit) {
+    // Native codegen over the finished micro-op stream. Refusal (non-x86
+    // host, W^X mapping failure, untranslatable op) is not an error: the
+    // same micro-ops run under the tier-2 dispatch loop, and the reason
+    // is surfaced through Vm::jit_fallback_reason / bpf.jit_fallbacks.
+    std::string reason;
+    plan->jit_ = jit::compile(plan->ops_, &reason);
+    if (plan->jit_ == nullptr) {
+      plan->tier_ = ExecTier::Elide;
+      plan->jit_fallback_reason_ = reason;
+    }
+  }
   return plan;
 }
 

@@ -28,6 +28,7 @@
 #include <functional>
 #include <memory>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "bpf/insn.h"
@@ -39,17 +40,25 @@ namespace analysis {
 struct AnalysisResult;
 }  // namespace analysis
 
+namespace jit {
+class JitCode;
+}  // namespace jit
+
 enum class ExecTier : uint8_t {
   Interp = 0,    // reference switch interpreter (no plan)
   Threaded = 1,  // pre-decoded micro-ops, fusion, checked memory accesses
   Elide = 2,     // Threaded + verifier-guided bounds-check elision
+  Jit = 3,       // Elide micro-ops compiled to native x86-64 (bpf/jit/);
+                 // falls back to Elide when the host cannot JIT
 };
 
 const char* to_string(ExecTier t);
 
-// Process-wide default, read once from HERMES_BPF_TIER (0|1|2). Unset or
+// Process-wide default, read once from HERMES_BPF_TIER (0|1|2|3). Unset or
 // unparsable means Elide: verified programs carry their own safety proof,
-// so the fastest tier is the production configuration.
+// so the fastest always-available tier is the production configuration.
+// Tier 3 is opt-in (it is x86-64-only and mmap-dependent; requesting it
+// where unavailable runs tier 2 and bumps the bpf.jit_fallbacks counter).
 ExecTier default_tier();
 
 // A contiguous byte region the interpreter may touch (runtime checking).
@@ -113,9 +122,19 @@ class ExecutionPlan {
     uint32_t elided_checks = 0;   // unchecked accesses executed this run
   };
 
+  ~ExecutionPlan();  // out-of-line: jit_ holds an incomplete type here
+
   ExecTier tier() const { return tier_; }
   const Stats& stats() const { return stats_; }
   std::span<const MicroOp> ops() const { return ops_; }
+
+  // Non-null iff tier() == Jit: execute() runs the native code instead of
+  // the threaded dispatch loop.
+  const jit::JitCode* jit_code() const { return jit_.get(); }
+  // Why a Jit request compiled down to Elide ("" when it didn't).
+  const std::string& jit_fallback_reason() const {
+    return jit_fallback_reason_;
+  }
 
   // Run the plan. Register/stack/helper semantics mirror Vm::run exactly;
   // violations abort (the program was verified — a trip here is a repo
@@ -133,6 +152,8 @@ class ExecutionPlan {
   std::vector<MicroOp> ops_;
   std::vector<MemRegion> map_regions_;  // array-map stores, hoisted at load
   Stats stats_;
+  std::unique_ptr<jit::JitCode> jit_;  // tier 3 only
+  std::string jit_fallback_reason_;
 };
 
 // Compile a verified program into a plan. `facts` (the verifier's

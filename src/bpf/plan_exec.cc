@@ -9,6 +9,7 @@
 // sequences they replace.
 #include <cstring>
 
+#include "bpf/jit/jit.h"
 #include "bpf/plan.h"
 #include "util/check.h"
 
@@ -41,6 +42,9 @@ static_assert(kUopCodeCount == kOpCount + 24);
 ExecutionPlan::ExecResult ExecutionPlan::execute(
     ReuseportCtx& ctx, const std::function<uint64_t()>& time_fn,
     const std::function<uint32_t()>& rand_fn) const {
+  if (jit_ != nullptr) {
+    return jit_->run(ctx, map_regions_, time_fn, rand_fn);
+  }
   alignas(8) uint8_t stack[kStackSize] = {};
   uint64_t regs[kNumRegs] = {};
   regs[1] = reinterpret_cast<uint64_t>(&ctx);

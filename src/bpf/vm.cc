@@ -35,6 +35,13 @@ std::unique_ptr<LoadedProgram> Vm::load(Program prog, std::vector<Map*> maps,
   lp->tier_ = tier_;
   if (tier_ != ExecTier::Interp) {
     lp->plan_ = compile_plan(lp->prog_, lp->maps_, &vr.analysis, tier_);
+    // The plan's tier is authoritative: a Jit request may have compiled
+    // down to Elide (non-x86-64 host, W^X failure, codegen refusal).
+    lp->tier_ = lp->plan_->tier();
+    if (tier_ == ExecTier::Jit && lp->tier_ != ExecTier::Jit) {
+      ++jit_fallbacks_;
+      jit_fallback_reason_ = lp->plan_->jit_fallback_reason();
+    }
   }
   return lp;
 }

@@ -16,6 +16,7 @@
 #include <functional>
 #include <memory>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "bpf/insn.h"
@@ -31,7 +32,9 @@ class LoadedProgram {
   const Program& insns() const { return prog_; }
   std::span<Map* const> maps() const { return maps_; }
 
-  // Tier this program was compiled for; plan() is null iff tier is Interp.
+  // Tier this program actually executes at — may be Elide when a Jit
+  // request fell back (see Vm::jit_fallback_reason). plan() is null iff
+  // tier is Interp.
   ExecTier tier() const { return tier_; }
   const ExecutionPlan* plan() const { return plan_.get(); }
 
@@ -85,6 +88,15 @@ class Vm {
   // accounting for Table 5).
   uint64_t total_insns() const { return total_insns_; }
 
+  // Tier-3 fallback state: how many load() calls requested Jit but got an
+  // Elide plan, and why the most recent one fell back. Never a silent
+  // downgrade — core/hermes.cc forwards this to the bpf.jit_fallbacks
+  // observability counter.
+  uint64_t jit_fallbacks() const { return jit_fallbacks_; }
+  const std::string& jit_fallback_reason() const {
+    return jit_fallback_reason_;
+  }
+
  private:
   RunResult run_interp(const LoadedProgram& prog, ReuseportCtx& ctx) const;
 
@@ -92,6 +104,8 @@ class Vm {
   RandFn rand_fn_;
   ExecTier tier_;
   mutable uint64_t total_insns_ = 0;
+  mutable uint64_t jit_fallbacks_ = 0;
+  mutable std::string jit_fallback_reason_;
 };
 
 }  // namespace hermes::bpf

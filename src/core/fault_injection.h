@@ -1,0 +1,40 @@
+// Fault-injection seam for the syscall-boundary side effects Hermes
+// performs: WST heartbeat writes (shm) and bitmap publishes into the eBPF
+// selection map (bpf() map-update). Torture tests install a scripted
+// implementation (testing/fault_injection.h) to model wedged workers,
+// skewed clocks, and dropped or delayed syncs; production paths pass
+// nullptr and pay nothing.
+//
+// Both hooks sit exactly where the simulator would otherwise touch shared
+// state, so a fault changes what the rest of the system OBSERVES, not how
+// the code under test executes.
+#pragma once
+
+#include <cstdint>
+
+#include "util/types.h"
+
+namespace hermes::core {
+
+class FaultInjector {
+ public:
+  virtual ~FaultInjector() = default;
+
+  // Worker `w` is about to write its availability heartbeat at `now`.
+  // Return the timestamp to actually write — `now` (healthy), an older
+  // time (skewed/lagged clock), or any negative time to suppress the
+  // write entirely (the worker wedged before reaching the update).
+  virtual SimTime on_avail_update(WorkerId /*w*/, SimTime now) { return now; }
+
+  // Worker `w` is about to publish `bitmap` into selection-map slot
+  // `group`. Return false to suppress the publish (a dropped or held-back
+  // bpf() syscall); the caller must behave as if the sync never happened.
+  virtual bool on_bitmap_sync(WorkerId w, uint32_t group, uint64_t bitmap) {
+    (void)w;
+    (void)group;
+    (void)bitmap;
+    return true;
+  }
+};
+
+}  // namespace hermes::core

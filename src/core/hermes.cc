@@ -183,9 +183,16 @@ PortAttachment HermesRuntime::attach_port(
   params.min_workers = scheduler_.config().min_workers_for_dispatch;
 
   std::string err;
+  const uint64_t fallbacks_before = vm_.jit_fallbacks();
   att.program = vm_.load(build_dispatch_program(params),
                          {sel_map_.get(), att.sock_map.get()}, &err);
   HERMES_CHECK_MSG(att.program != nullptr, err.c_str());
+  // A tier-3 request that compiled down to tier 2 must be visible, not a
+  // silent downgrade: count it where dashboards can alert on it.
+  if (obs_ != nullptr && vm_.jit_fallbacks() > fallbacks_before) {
+    obs_->metrics.bpf_jit_fallbacks->add(
+        0, vm_.jit_fallbacks() - fallbacks_before);
+  }
   return att;
 }
 

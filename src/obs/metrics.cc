@@ -215,9 +215,11 @@ PipelineMetrics::PipelineMetrics(Registry& reg, uint32_t workers)
       dispatch_hash(&reg.counter("dispatch.hash", 1)),
       bpf_tier_dispatches{&reg.counter("bpf.tier0_dispatches", 1),
                           &reg.counter("bpf.tier1_dispatches", 1),
-                          &reg.counter("bpf.tier2_dispatches", 1)},
+                          &reg.counter("bpf.tier2_dispatches", 1),
+                          &reg.counter("bpf.tier3_dispatches", 1)},
       bpf_fused_ops(&reg.counter("bpf.fused_ops", 1)),
       bpf_elided_checks(&reg.counter("bpf.elided_checks", 1)),
+      bpf_jit_fallbacks(&reg.counter("bpf.jit_fallbacks", 1)),
       accept_enqueued(&reg.counter("accept.enqueued", workers)),
       accept_dropped(&reg.counter("accept.dropped", workers)),
       accept_depth(&reg.histogram("accept.depth", workers, 2)) {}

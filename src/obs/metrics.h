@@ -217,9 +217,10 @@ struct PipelineMetrics {
   // Stage 3 — tiered eBPF execution engine (bpf/plan.h): which tier ran
   // the dispatch program, and what its plan saved. Tier indexes match
   // bpf::ExecTier.
-  Counter* bpf_tier_dispatches[3];  // runs per execution tier
+  Counter* bpf_tier_dispatches[4];  // runs per execution tier
   Counter* bpf_fused_ops;           // superinstructions executed (tier >= 1)
-  Counter* bpf_elided_checks;       // bounds checks proven away (tier 2)
+  Counter* bpf_elided_checks;       // bounds checks proven away (tier >= 2)
+  Counter* bpf_jit_fallbacks;       // tier-3 loads that fell back to tier 2
 
   // netsim accept queues.
   Counter* accept_enqueued;     // sharded by owning worker
