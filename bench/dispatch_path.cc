@@ -138,6 +138,42 @@ TierResult run_tier(bpf::ExecTier tier,
   return r;
 }
 
+// One-time translation-validation cost: wall-clock of a full tier-3
+// Vm::load (verify + plan compile + codegen) with the validator forced
+// on vs off. This is load-time work — it never touches the dispatch hot
+// path — so the row is reported for sizing (how much a validated attach
+// costs) and never gated.
+double load_cost_ns(const char* validate_env) {
+  core::DispatchProgramParams params;
+  params.num_groups = kNumGroups;
+  params.workers_per_group = kWorkersPerGroup;
+  bpf::ArrayMap sel(params.num_groups, sizeof(uint64_t));
+  bpf::ReuseportSockArray socks(kNumGroups * kWorkersPerGroup);
+  for (uint32_t w = 0; w < kNumGroups * kWorkersPerGroup; ++w) {
+    socks.update(w, 1000 + w);
+  }
+  const bpf::Program prog = core::build_dispatch_program(params);
+  bpf::Vm vm;
+  vm.set_tier(bpf::ExecTier::Jit);
+
+  const char* saved = ::getenv("HERMES_BPF_VALIDATE");
+  const std::string saved_val = saved != nullptr ? saved : "";
+  ::setenv("HERMES_BPF_VALIDATE", validate_env, 1);
+  const double cost = ns_per_op(
+      [&](int) {
+        std::string err;
+        auto loaded = vm.load(prog, {&sel, &socks}, &err);
+        HERMES_CHECK_MSG(loaded != nullptr, "dispatch program rejected");
+      },
+      200);
+  if (saved != nullptr) {
+    ::setenv("HERMES_BPF_VALIDATE", saved_val.c_str(), 1);
+  } else {
+    ::unsetenv("HERMES_BPF_VALIDATE");
+  }
+  return cost;
+}
+
 int main_impl(int argc, char** argv) {
   BenchJson json("dispatch_path", &argc, argv);
   header("dispatch_path: ns/dispatch per eBPF execution tier");
@@ -206,7 +242,20 @@ int main_impl(int argc, char** argv) {
               bpf::jit::available() ? (jit_vs_elide >= 2.0 ? "PASS" : "FAIL")
                                     : "SKIP: jit unavailable");
 
+  // One-time validation cost at load: how much slower a tier-3 attach is
+  // with translation validation on. Pure load-time work, never gated.
+  const double load_plain_ns = load_cost_ns("0");
+  const double load_validated_ns = load_cost_ns("1");
+  std::printf("\ntier-3 load (one-time): %.0f ns plain, %.0f ns validated "
+              "(+%.0f ns, %.2fx)%s\n",
+              load_plain_ns, load_validated_ns,
+              load_validated_ns - load_plain_ns,
+              load_validated_ns / load_plain_ns,
+              bpf::jit::available() ? "" : " (jit unavailable: no validation)");
+
   // Wall-clock: reported, never gated.
+  json.metric("load_cost_ns", load_plain_ns);
+  json.metric("load_validated_cost_ns", load_validated_ns);
   json.metric("tier0_cost_ns", res[0].cost_ns);
   json.metric("tier1_cost_ns", res[1].cost_ns);
   json.metric("tier2_cost_ns", res[2].cost_ns);

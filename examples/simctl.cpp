@@ -175,6 +175,14 @@ int main(int argc, char** argv) {
     if (a.metrics) {
       std::printf("\n-- metrics --------------------------------------\n%s",
                   lb.obs()->registry.text_dump().c_str());
+      if (lb.hermes() != nullptr) {
+        // Why the most recent tier-3 load fell back (counters above say
+        // how often; this says what happened last, e.g. a translation-
+        // validation rejection with its decoded-window diagnostic).
+        const std::string& why = lb.hermes()->vm().jit_fallback_reason();
+        std::printf("bpf.jit_fallback_reason: %s\n",
+                    why.empty() ? "(none)" : why.c_str());
+      }
     }
     if (a.trace_dump > 0) {
       auto events = lb.obs()->traces.merged_snapshot();

@@ -66,6 +66,16 @@ run_tier_sweep() {
   echo "==> ctest ${dir} -L jit (HERMES_BPF_TIER=3 HERMES_BPF_JIT=off)"
   HERMES_BPF_TIER=3 HERMES_BPF_JIT=off \
     ctest --test-dir "$dir" --output-on-failure -j "$JOBS" -L jit
+  # Translation-validation leg: tier 3 with the validator forced on, over
+  # the full bpf-labeled set. Every compile must be proven equivalent to
+  # its micro-op stream before running — a rejection (see the validate-
+  # labeled suite for the mutation self-test) fails this leg loudly.
+  echo "==> ctest ${dir} -L bpf (HERMES_BPF_TIER=3 HERMES_BPF_VALIDATE=1)"
+  HERMES_BPF_TIER=3 HERMES_BPF_VALIDATE=1 \
+    ctest --test-dir "$dir" --output-on-failure -j "$JOBS" -L bpf
+  echo "==> ctest ${dir} -L validate (HERMES_BPF_VALIDATE=1)"
+  HERMES_BPF_VALIDATE=1 \
+    ctest --test-dir "$dir" --output-on-failure -j "$JOBS" -L validate
 }
 
 # Scheduler-path sweep: the suite above ran with the default fast path

@@ -42,6 +42,40 @@ struct JitRt {
   uint64_t elided = 0;  // unchecked accesses executed
 };
 
+// Layout metadata the compiler exports alongside the code buffer, consumed
+// by the translation validator (jit/validate/). The offsets are *claims*,
+// not trusted facts: the validator decodes every byte between consecutive
+// offsets and rejects the buffer if any claim fails to match the decoded
+// instruction stream, so wrong metadata cannot launder wrong code.
+struct JitMeta {
+  // code_off[i] = byte offset where micro-op i's emitted code begins (a
+  // trailing counter-flush for a preceding straight-line run is charged to
+  // the *preceding* segment). code_off[0] doubles as end-of-prologue.
+  std::vector<uint32_t> code_off;
+  // Offset of the trailing fell-off-end trap (verified unreachable; it is
+  // the no-fall-through backstop).
+  uint32_t tail_off = 0;
+};
+
+// Addresses of the out-of-line runtime helpers that generated code calls
+// through baked movabs immediates. Exposed so the validator can recognize
+// call targets in the decoded buffer; defined on every host (the helpers
+// are plain C++, only the emitter is x86-64-gated).
+struct HelperAddrs {
+  uint64_t check_access = 0;
+  uint64_t call_lookup = 0;
+  uint64_t call_update = 0;
+  uint64_t call_select = 0;
+  uint64_t update_nc = 0;
+  uint64_t time = 0;
+  uint64_t rand = 0;
+  uint64_t budget_abort = 0;       // noreturn
+  uint64_t unknown_helper = 0;     // noreturn
+  uint64_t unresolved_ldmapfd = 0; // noreturn
+  uint64_t fell_off_end = 0;       // noreturn
+};
+const HelperAddrs& helper_addrs();
+
 // An executable W^X code buffer. The mapping is RW only while compile()
 // copies the emitted bytes in; it is RX for the object's whole lifetime
 // and unmapped on destruction. Immutable after construction, so one
@@ -51,12 +85,16 @@ class JitCode {
  public:
   using Entry = uint64_t (*)(JitRt*);
 
-  JitCode(void* mem, size_t len) : mem_(mem), len_(len) {}
+  JitCode(void* mem, size_t len, JitMeta meta)
+      : mem_(mem), len_(len), meta_(std::move(meta)) {}
   ~JitCode();
   JitCode(const JitCode&) = delete;
   JitCode& operator=(const JitCode&) = delete;
 
   size_t code_bytes() const { return len_; }
+  // The RX mapping is readable; the validator decodes straight from it.
+  const uint8_t* code() const { return static_cast<const uint8_t*>(mem_); }
+  const JitMeta& meta() const { return meta_; }
 
   // Execute. `regions` are the plan's hoisted array-map stores; time/rand
   // feed the KtimeGetNs / GetPrandomU32 helpers (may be empty functions).
@@ -68,6 +106,7 @@ class JitCode {
  private:
   void* mem_;
   size_t len_;
+  JitMeta meta_;
 };
 
 // True when this process can JIT at all: x86-64 host and not disabled via
@@ -75,9 +114,11 @@ class JitCode {
 bool available();
 
 // Compile a micro-op stream. nullptr + `reason` on refusal (see header
-// comment); never aborts on unsupported input.
+// comment); never aborts on unsupported input. `kind`, when non-null,
+// classifies the refusal for the split fallback counters.
 std::unique_ptr<JitCode> compile(std::span<const MicroOp> ops,
-                                 std::string* reason);
+                                 std::string* reason,
+                                 JitFallbackKind* kind = nullptr);
 
 // Total compile() entries in this process. Verifier-rejected programs
 // never reach compile_plan, so this must not move when a load fails
@@ -88,6 +129,21 @@ namespace testing {
 // Force the W^X buffer allocation to fail, exercising the mmap-failure
 // fallback path without an actually-restricted environment.
 void force_alloc_failure(bool on);
+
+// Deliberate codegen-bug injection for the translation validator's
+// mutation self-test (tests/bpf_validate_test.cc). Each mutation fires at
+// the first applicable site of the next compile() and then disarms for
+// that compile; set_mutation(None) clears it. Never enable outside a test
+// that validates the result — a mutated buffer is wrong by construction.
+enum class Mutation : uint8_t {
+  None = 0,
+  FlipRel32,        // first branch fixup resolves 4 bytes past its target
+  WrongImmediate,   // first emitted immediate off by one
+  SkipBoundsCheck,  // first checked memory access emitted without its check
+  SwapRegisters,    // first reg-reg ALU op emitted with dst/src swapped
+};
+void set_mutation(Mutation m);
+Mutation mutation();
 }  // namespace testing
 
 }  // namespace hermes::bpf::jit

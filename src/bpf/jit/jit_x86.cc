@@ -34,6 +34,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <atomic>
+#include <utility>
 #include <vector>
 
 #if defined(__unix__) || defined(__APPLE__)
@@ -50,6 +51,7 @@ namespace {
 
 std::atomic<uint64_t> g_compile_attempts{0};
 std::atomic<bool> g_force_alloc_failure{false};
+std::atomic<uint8_t> g_mutation{0};  // testing::Mutation, armed per compile
 
 bool env_disabled() {
   const char* e = std::getenv("HERMES_BPF_JIT");
@@ -197,15 +199,31 @@ class Compiler {
       if (!emit_uop(ops_[i], static_cast<uint32_t>(i))) return false;
     }
     // Verified programs exit before the end; trap if one somehow doesn't.
+    tail_off_ = b_.size();
     b_.call_imm64(fn_addr(&rt_fell_off_end));
     for (const Fixup& f : fixups_) {
-      b_.patch_rel32(f.pos, code_off_[f.target]);
+      size_t target_off = code_off_[f.target];
+      if (mut_ == testing::Mutation::FlipRel32 && !mut_done_) {
+        mut_done_ = true;
+        target_off += 4;  // deliberate wrong branch target (self-test)
+      }
+      b_.patch_rel32(f.pos, target_off);
     }
     return true;
   }
 
   const CodeBuf& buf() const { return b_; }
   const std::string& error() const { return error_; }
+
+  JitMeta meta() const {
+    JitMeta m;
+    m.code_off.reserve(code_off_.size());
+    for (size_t off : code_off_) {
+      m.code_off.push_back(static_cast<uint32_t>(off));
+    }
+    m.tail_off = static_cast<uint32_t>(tail_off_);
+    return m;
+  }
 
  private:
   struct Fixup {
@@ -219,6 +237,19 @@ class Compiler {
   }
 
   static int xr(uint8_t bpf_reg) { return kRegMap[bpf_reg]; }
+
+  // --- mutation self-test hooks (testing::set_mutation) ----------------
+  bool mut_fire(testing::Mutation m) {
+    if (mut_ != m || mut_done_) return false;
+    mut_done_ = true;
+    return true;
+  }
+  int64_t mut_imm(int64_t imm) {
+    return mut_fire(testing::Mutation::WrongImmediate) ? imm + 1 : imm;
+  }
+  void mut_swap(int* d, int* s) {
+    if (mut_fire(testing::Mutation::SwapRegisters)) std::swap(*d, *s);
+  }
 
   // --- instruction accounting -----------------------------------------
   void charge(uint32_t insns) { pending_insns_ += insns; }
@@ -315,6 +346,11 @@ class Compiler {
   // Bounds-checked address: r9 = rt_check_access(rt, base_reg + off, n).
   // Preserves every BPF register (including rax).
   void emit_checked_access(int base_x86, int32_t off, uint32_t n) {
+    if (mut_fire(testing::Mutation::SkipBoundsCheck)) {
+      // Deliberate dropped check (self-test): same address in r9, no call.
+      b_.lea(kS0, base_x86, off);
+      return;
+    }
     save_bpf_caller_saved();
     b_.lea(RSI, base_x86, off);  // wraps mod 2^64, like S + ip->off
     b_.mov_ri(RDX, n);
@@ -463,20 +499,29 @@ class Compiler {
   std::vector<size_t> code_off_;
   std::vector<Fixup> fixups_;
   std::string error_;
+  size_t tail_off_ = 0;
   uint32_t pending_insns_ = 0;
   uint32_t pending_fused_ = 0;
   uint32_t pending_elided_ = 0;
+  testing::Mutation mut_ = testing::mutation();
+  bool mut_done_ = false;
 };
 
 bool Compiler::emit_op(Op op, const MicroOp& u, uint32_t idx) {
-  const int D = xr(u.dst);
-  const int S = xr(u.src);
+  int D = xr(u.dst);
+  int S = xr(u.src);
   const int64_t imm = u.imm;
   charge(1);
   switch (op) {
-    case Op::AddReg: b_.add_rr64(D, S); break;
-    case Op::AddImm: g1_ri64(0, D, imm); break;
-    case Op::SubReg: b_.sub_rr64(D, S); break;
+    case Op::AddReg:
+      mut_swap(&D, &S);
+      b_.add_rr64(D, S);
+      break;
+    case Op::AddImm: g1_ri64(0, D, mut_imm(imm)); break;
+    case Op::SubReg:
+      mut_swap(&D, &S);
+      b_.sub_rr64(D, S);
+      break;
     case Op::SubImm: g1_ri64(5, D, imm); break;
     case Op::MulReg: b_.imul_rr64(D, S); break;
     case Op::MulImm:
@@ -505,7 +550,9 @@ bool Compiler::emit_op(Op op, const MicroOp& u, uint32_t idx) {
     case Op::ArshImm: b_.shift_ri(true, 7, D, imm & 63); break;
     case Op::Neg: b_.neg_r64(D); break;
     case Op::MovReg: b_.mov_rr64(D, S); break;
-    case Op::MovImm: b_.mov_ri(D, static_cast<uint64_t>(imm)); break;
+    case Op::MovImm:
+      b_.mov_ri(D, static_cast<uint64_t>(mut_imm(imm)));
+      break;
 
     case Op::Add32Reg: b_.add_rr32(D, S); break;
     case Op::Add32Imm: g1_ri32(0, D, imm); break;
@@ -535,9 +582,11 @@ bool Compiler::emit_op(Op op, const MicroOp& u, uint32_t idx) {
     case Op::Neg32: b_.neg_r32(D); break;
     case Op::Mov32Reg: b_.mov_rr32(D, S); break;
     case Op::Mov32Imm:
-      b_.mov_ri(D, static_cast<uint32_t>(imm));
+      b_.mov_ri(D, static_cast<uint32_t>(mut_imm(imm)));
       break;
-    case Op::LdImm64: b_.mov_ri(D, static_cast<uint64_t>(imm)); break;
+    case Op::LdImm64:
+      b_.mov_ri(D, static_cast<uint64_t>(mut_imm(imm)));
+      break;
 
     case Op::LdMapFd:
       // compile_plan always rewrites this to ULdMapPtr.
@@ -925,27 +974,58 @@ uint64_t compile_attempts() {
   return g_compile_attempts.load(std::memory_order_relaxed);
 }
 
+const HelperAddrs& helper_addrs() {
+  static const HelperAddrs kAddrs = [] {
+    HelperAddrs a;
+    a.check_access = fn_addr(&rt_check_access);
+    a.call_lookup = fn_addr(&rt_call_lookup);
+    a.call_update = fn_addr(&rt_call_update);
+    a.call_select = fn_addr(&rt_call_select);
+    a.update_nc = fn_addr(&rt_update_nc);
+    a.time = fn_addr(&rt_time);
+    a.rand = fn_addr(&rt_rand);
+    a.budget_abort = fn_addr(&rt_budget_abort);
+    a.unknown_helper = fn_addr(&rt_unknown_helper);
+    a.unresolved_ldmapfd = fn_addr(&rt_unresolved_ldmapfd);
+    a.fell_off_end = fn_addr(&rt_fell_off_end);
+    return a;
+  }();
+  return kAddrs;
+}
+
 namespace testing {
 void force_alloc_failure(bool on) {
   g_force_alloc_failure.store(on, std::memory_order_relaxed);
 }
+void set_mutation(Mutation m) {
+  g_mutation.store(static_cast<uint8_t>(m), std::memory_order_relaxed);
+}
+Mutation mutation() {
+  return static_cast<Mutation>(g_mutation.load(std::memory_order_relaxed));
+}
 }  // namespace testing
 
 std::unique_ptr<JitCode> compile(std::span<const MicroOp> ops,
-                                 std::string* reason) {
+                                 std::string* reason, JitFallbackKind* kind) {
   g_compile_attempts.fetch_add(1, std::memory_order_relaxed);
+  const auto refuse = [&](JitFallbackKind k) {
+    if (kind != nullptr) *kind = k;
+  };
 #if !defined(__x86_64__)
   (void)ops;
   if (reason != nullptr) *reason = "host is not x86-64";
+  refuse(JitFallbackKind::Disabled);
   return nullptr;
 #else
   if (env_disabled()) {
     if (reason != nullptr) *reason = "disabled by HERMES_BPF_JIT";
+    refuse(JitFallbackKind::Disabled);
     return nullptr;
   }
   Compiler c(ops);
   if (!c.compile()) {
     if (reason != nullptr) *reason = "codegen refused: " + c.error();
+    refuse(JitFallbackKind::Other);
     return nullptr;
   }
   const size_t len = c.buf().size();
@@ -955,6 +1035,7 @@ std::unique_ptr<JitCode> compile(std::span<const MicroOp> ops,
     if (reason != nullptr) {
       *reason = "mmap(RW) failed: forced by testing hook";
     }
+    refuse(JitFallbackKind::AllocFailure);
     return nullptr;
   }
   void* mem = mmap(nullptr, len, PROT_READ | PROT_WRITE,
@@ -963,6 +1044,7 @@ std::unique_ptr<JitCode> compile(std::span<const MicroOp> ops,
     if (reason != nullptr) {
       *reason = std::string("mmap(RW) failed: ") + std::strerror(errno);
     }
+    refuse(JitFallbackKind::AllocFailure);
     return nullptr;
   }
   std::memcpy(mem, c.buf().data(), len);
@@ -972,9 +1054,10 @@ std::unique_ptr<JitCode> compile(std::span<const MicroOp> ops,
     if (reason != nullptr) {
       *reason = std::string("mprotect(RX) failed: ") + std::strerror(err);
     }
+    refuse(JitFallbackKind::AllocFailure);
     return nullptr;
   }
-  return std::make_unique<JitCode>(mem, len);
+  return std::make_unique<JitCode>(mem, len, c.meta());
 #endif
 }
 

@@ -1,0 +1,89 @@
+// Translation validation for the tier-3 JIT: a static pass that runs once
+// at Vm::load time and proves the emitted x86-64 buffer equivalent to the
+// ExecutionPlan micro-op stream it was compiled from, before the buffer is
+// ever executed. The tier-2 micro-op semantics (bpf/plan_exec.cc) are the
+// specification; the compiled bytes are the claim under test.
+//
+// The pass layers, cheapest first:
+//
+//   1. Decode + CFG recovery. Every byte of the W^X buffer is decoded
+//      through the table-driven subset decoder (x86_decode.h), segmented
+//      by the compiler-exported per-micro-op offsets (JitMeta — treated as
+//      claims, re-verified, never trusted). rel32 branch targets must land
+//      exactly on the target micro-op's code offset; rel8 targets must hit
+//      an instruction boundary inside their own segment; the buffer must
+//      end in the noreturn fell-off-end trap, so no path falls off the end.
+//
+//   2. Structural checks. The prologue/epilogue must establish the exact
+//      frame ABI (callee-saved pushes, 16-byte alignment, zeroed BPF stack
+//      and registers, r1 = ctx, r10 = stack top); instruction-accounting
+//      flushes must carry the independently recomputed charge constants
+//      and leave zero pending counts at every branch, jump target and
+//      exit; backward edges must carry the budget check; baked map
+//      immediates (array base / stride / max_entries, sock-array slots,
+//      map pointers) must match the maps the program was loaded with; and
+//      every elided check must be covered by an exported verifier fact
+//      (MemAccessInfo / HelperCallInfo) at the micro-op's source pc — a
+//      dropped bounds check is a load-time rejection here.
+//
+//   3. Symbolic per-segment equivalence. Each segment is executed
+//      symbolically against an independent micro-op spec interpreter over
+//      seeded trial vectors: same initial BPF register file, a shared
+//      deterministic memory oracle, and an ordered observable-event log
+//      (bounds checks, stores, helper calls, aborts) that must match
+//      exactly, along with every final BPF register and the branch
+//      direction. The tnum/interval ValueRange domain (bpf/analysis/)
+//      supplies a soundness envelope on top: every concrete ALU result
+//      the machine code produces must be contained in the abstract
+//      transfer function's output range, and every taken branch edge must
+//      be feasible under refine_branch — so the checker cross-validates
+//      against the same abstract semantics the verifier proved facts in.
+//
+// Rejection falls back to tier 2 through the jit_fallbacks machinery with
+// a decoded-window diagnostic (mirroring the verifier's disasm windows).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "bpf/plan.h"
+
+namespace hermes::bpf {
+namespace analysis {
+struct AnalysisResult;
+}  // namespace analysis
+
+namespace jit {
+class JitCode;
+
+namespace validate {
+
+// Gate: HERMES_BPF_VALIDATE=1|on forces on, =0|off forces off; unset means
+// on in debug builds (and CI's sanitizer jobs), off in NDEBUG builds —
+// release opts in explicitly. Re-read per call: load-time only, not hot.
+bool enabled();
+
+struct Request {
+  const JitCode* code = nullptr;          // compiled buffer + JitMeta
+  std::span<const MicroOp> ops;           // the spec: tier-2 micro-ops
+  std::span<const uint32_t> src_pc;       // micro-op -> source pc
+  std::span<Map* const> maps;             // bound maps (baked immediates)
+  const analysis::AnalysisResult* facts = nullptr;  // verifier facts
+};
+
+struct Result {
+  bool ok = false;
+  std::string error;  // rejection reason + decoded window
+};
+
+// Run the full pass. Bumps the process-wide accept/reject counters below.
+Result validate(const Request& req);
+
+// Process-wide counters feeding bpf.validate_{accepts,rejects}.
+uint64_t accepts();
+uint64_t rejects();
+
+}  // namespace validate
+}  // namespace jit
+}  // namespace hermes::bpf

@@ -1,0 +1,664 @@
+// x86-64 subset decoder (see x86_decode.h). Two dispatch tables — primary
+// opcode map and 0F escape map — classify the opcode byte; modrm/SIB and
+// immediate parsing then follow the SDM rules for that class. Everything
+// outside the emitter's vocabulary decodes to a hard error.
+#include "bpf/jit/validate/x86_decode.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace hermes::bpf::jit::validate {
+
+namespace {
+
+// Primary-opcode classes. One table entry per opcode byte; the handler
+// switch below consumes modrm/SIB/immediates per class.
+enum class K : uint8_t {
+  Bad = 0,
+  AluRR,    // 01 09 21 29 31 39 85 88 89: /r store form (88/89 may be mem)
+  Load8B,   // 8B: mov reg, [mem]
+  Grp1,     // 80-group 83/81: /ext imm to rm (reg or mem)
+  Grp3,     // F7: /0 test imm32, /3 neg, /6 div
+  Shift,    // D3 (cl) / C1 (imm8): /ext
+  MovB8,    // B8..BF: mov reg, imm32/imm64 by REX.W
+  C6,       // C6 /0: mov byte [mem], imm8
+  C7,       // C7 /0: mov rm, imm32 (reg form = mov_ri simm32; mem = store)
+  Lea8D,    // 8D
+  Push,     // 50..57
+  Pop,      // 58..5F
+  GrpFF,    // FF /2: call r
+  Ret,      // C3
+  JmpR32,   // E9
+  JmpR8,    // EB
+  Jcc8,     // 70..7F
+  Imul69,   // 69 /r imm32: imul reg, rm, imm
+  Esc0F,    // 0F: second table
+};
+
+struct Tables {
+  K primary[256];
+  // 0F escape classes: 0 bad, 1 movzx8 (B6), 2 movzx16 (B7), 3 imul (AF),
+  // 4 jcc rel32 (80..8F), 5 xorps (57), 6 movaps-store (29).
+  uint8_t esc[256];
+};
+
+constexpr Tables build_tables() {
+  Tables t{};
+  for (int i = 0; i < 256; ++i) {
+    t.primary[i] = K::Bad;
+    t.esc[i] = 0;
+  }
+  for (uint8_t op : {0x01, 0x09, 0x21, 0x29, 0x31, 0x39, 0x85, 0x88, 0x89}) {
+    t.primary[op] = K::AluRR;
+  }
+  t.primary[0x8B] = K::Load8B;
+  t.primary[0x83] = K::Grp1;
+  t.primary[0x81] = K::Grp1;
+  t.primary[0xF7] = K::Grp3;
+  t.primary[0xD3] = K::Shift;
+  t.primary[0xC1] = K::Shift;
+  for (int i = 0xB8; i <= 0xBF; ++i) t.primary[i] = K::MovB8;
+  t.primary[0xC6] = K::C6;
+  t.primary[0xC7] = K::C7;
+  t.primary[0x8D] = K::Lea8D;
+  for (int i = 0x50; i <= 0x57; ++i) t.primary[i] = K::Push;
+  for (int i = 0x58; i <= 0x5F; ++i) t.primary[i] = K::Pop;
+  t.primary[0xFF] = K::GrpFF;
+  t.primary[0xC3] = K::Ret;
+  t.primary[0xE9] = K::JmpR32;
+  t.primary[0xEB] = K::JmpR8;
+  for (int i = 0x70; i <= 0x7F; ++i) t.primary[i] = K::Jcc8;
+  t.primary[0x0F] = K::Esc0F;
+  t.esc[0xB6] = 1;
+  t.esc[0xB7] = 2;
+  t.esc[0xAF] = 3;
+  for (int i = 0x80; i <= 0x8F; ++i) t.esc[i] = 4;
+  t.esc[0x57] = 5;
+  t.esc[0x29] = 6;
+  t.primary[0x69] = K::Imul69;
+  return t;
+}
+
+constexpr Tables kTab = build_tables();
+
+// Group-1 /ext -> XOp (adc/sbb/unused exts are outside the subset).
+bool grp1_op(int ext, XOp* out) {
+  switch (ext) {
+    case 0: *out = XOp::Add; return true;
+    case 1: *out = XOp::Or; return true;
+    case 4: *out = XOp::And; return true;
+    case 5: *out = XOp::Sub; return true;
+    case 6: *out = XOp::Xor; return true;
+    case 7: *out = XOp::Cmp; return true;
+    default: return false;
+  }
+}
+
+bool shift_op(int ext, XOp* out) {
+  switch (ext) {
+    case 4: *out = XOp::Shl; return true;
+    case 5: *out = XOp::Shr; return true;
+    case 7: *out = XOp::Sar; return true;
+    default: return false;
+  }
+}
+
+XOp alu_rr_op(uint8_t opc) {
+  switch (opc) {
+    case 0x01: return XOp::Add;
+    case 0x09: return XOp::Or;
+    case 0x21: return XOp::And;
+    case 0x29: return XOp::Sub;
+    case 0x31: return XOp::Xor;
+    case 0x39: return XOp::Cmp;
+    default: return XOp::Test;  // 0x85
+  }
+}
+
+// Streaming byte reader with bounds checking.
+struct Rd {
+  const uint8_t* p;
+  size_t avail;
+  size_t pos = 0;
+  bool ok = true;
+
+  uint8_t u8() {
+    if (pos >= avail) {
+      ok = false;
+      return 0;
+    }
+    return p[pos++];
+  }
+  uint32_t u32() {
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= static_cast<uint32_t>(u8()) << (8 * i);
+    return v;
+  }
+  uint64_t u64() {
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= static_cast<uint64_t>(u8()) << (8 * i);
+    return v;
+  }
+};
+
+struct Mem {
+  bool is_reg = false;  // mod == 3: `base` is a register operand
+  int reg = 0;          // modrm.reg | REX.R
+  int base = 0;         // rm or SIB base | REX.B
+  int index = -1;       // SIB index | REX.X (scale 8), -1 = none
+  int32_t disp = 0;
+};
+
+// modrm (+SIB +disp) per the SDM, restricted to the emitter's shapes:
+// no RIP-relative, SIB only as no-index (0x24 style) or index*8.
+bool parse_modrm(Rd& r, int rex_r, int rex_x, int rex_b, Mem* m,
+                 std::string* err) {
+  const uint8_t modrm = r.u8();
+  const int mod = modrm >> 6;
+  m->reg = ((modrm >> 3) & 7) | (rex_r << 3);
+  const int rm = modrm & 7;
+  if (mod == 3) {
+    m->is_reg = true;
+    m->base = rm | (rex_b << 3);
+    return true;
+  }
+  if (rm == 4) {  // SIB
+    const uint8_t sib = r.u8();
+    const int scale = sib >> 6;
+    const int idx = ((sib >> 3) & 7) | (rex_x << 3);
+    const int sb = sib & 7;
+    if (mod == 0 && sb == 5) {
+      *err = "disp32-without-base SIB outside emitter subset";
+      return false;
+    }
+    m->base = sb | (rex_b << 3);
+    if (idx == 4 && rex_x == 0) {  // no index
+      if (scale != 0) {
+        *err = "scaled no-index SIB outside emitter subset";
+        return false;
+      }
+      m->index = -1;
+    } else {
+      if (scale != 3) {
+        *err = "SIB scale other than 8 outside emitter subset";
+        return false;
+      }
+      m->index = idx;
+    }
+  } else {
+    if (mod == 0 && rm == 5) {
+      *err = "RIP-relative addressing outside emitter subset";
+      return false;
+    }
+    m->base = rm | (rex_b << 3);
+  }
+  if (mod == 1) {
+    m->disp = static_cast<int8_t>(r.u8());
+  } else if (mod == 2) {
+    m->disp = static_cast<int32_t>(r.u32());
+  }
+  return true;
+}
+
+}  // namespace
+
+const char* to_string(XOp op) {
+  switch (op) {
+    case XOp::MovRR: return "mov";
+    case XOp::MovRI: return "mov";
+    case XOp::Add: return "add";
+    case XOp::Or: return "or";
+    case XOp::And: return "and";
+    case XOp::Sub: return "sub";
+    case XOp::Xor: return "xor";
+    case XOp::Cmp: return "cmp";
+    case XOp::Test: return "test";
+    case XOp::Imul: return "imul";
+    case XOp::Div: return "div";
+    case XOp::Neg: return "neg";
+    case XOp::Shl: return "shl";
+    case XOp::Shr: return "shr";
+    case XOp::Sar: return "sar";
+    case XOp::Load: return "load";
+    case XOp::Store: return "store";
+    case XOp::StoreImm: return "store-imm";
+    case XOp::AddMem: return "add-mem";
+    case XOp::Lea: return "lea";
+    case XOp::Push: return "push";
+    case XOp::Pop: return "pop";
+    case XOp::CallR: return "call";
+    case XOp::Ret: return "ret";
+    case XOp::Jmp: return "jmp";
+    case XOp::Jcc: return "jcc";
+    case XOp::Xorps: return "xorps";
+    case XOp::MovapsZ: return "movaps-z";
+  }
+  return "?";
+}
+
+bool decode_one(const uint8_t* p, size_t avail, XInsn* out,
+                std::string* err) {
+  Rd r{p, avail};
+  XInsn x;
+
+  // Prefixes in emitter order: optional 66, then optional REX.
+  bool opsize16 = false;
+  uint8_t b = r.u8();
+  if (b == 0x66) {
+    opsize16 = true;
+    b = r.u8();
+  }
+  int rex_w = 0, rex_r = 0, rex_x = 0, rex_b = 0;
+  if ((b & 0xF0) == 0x40) {
+    rex_w = (b >> 3) & 1;
+    rex_r = (b >> 2) & 1;
+    rex_x = (b >> 1) & 1;
+    rex_b = b & 1;
+    b = r.u8();
+  }
+  x.w = rex_w != 0;
+  if (!r.ok) {
+    *err = "truncated instruction";
+    return false;
+  }
+
+  const auto finish = [&]() -> bool {
+    if (!r.ok) {
+      *err = "truncated instruction";
+      return false;
+    }
+    x.len = static_cast<uint8_t>(r.pos);
+    *out = x;
+    return true;
+  };
+  const auto bad = [&](const char* what) -> bool {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%s (opcode 0x%02X)", what, b);
+    *err = buf;
+    return false;
+  };
+
+  Mem m;
+  switch (kTab.primary[b]) {
+    case K::AluRR: {
+      if (!parse_modrm(r, rex_r, rex_x, rex_b, &m, err)) return false;
+      if (b == 0x88 || (b == 0x89 && !m.is_reg)) {
+        // Byte/word/dword/qword store of modrm.reg.
+        if (m.index != -1) return bad("indexed store outside subset");
+        x.op = XOp::Store;
+        x.width = b == 0x88 ? 1 : (opsize16 ? 2 : (x.w ? 8 : 4));
+        x.reg = static_cast<int8_t>(m.reg);
+        x.base = static_cast<int8_t>(m.base);
+        x.disp = m.disp;
+        return finish();
+      }
+      if (!m.is_reg) return bad("memory form outside subset");
+      if (opsize16) return bad("16-bit ALU outside subset");
+      x.op = b == 0x89 ? XOp::MovRR : alu_rr_op(b);
+      x.reg = static_cast<int8_t>(m.reg);
+      x.base = static_cast<int8_t>(m.base);
+      return finish();
+    }
+
+    case K::Load8B: {
+      if (!parse_modrm(r, rex_r, rex_x, rex_b, &m, err)) return false;
+      if (m.is_reg) return bad("register-form 8B outside subset");
+      x.op = XOp::Load;
+      x.width = x.w ? 8 : 4;
+      x.reg = static_cast<int8_t>(m.reg);
+      x.base = static_cast<int8_t>(m.base);
+      x.index = static_cast<int8_t>(m.index);
+      x.disp = m.disp;
+      return finish();
+    }
+
+    case K::Grp1: {
+      if (!parse_modrm(r, rex_r, rex_x, rex_b, &m, err)) return false;
+      const int64_t imm =
+          b == 0x83 ? static_cast<int8_t>(r.u8())
+                    : static_cast<int32_t>(r.u32());
+      if (!m.is_reg) {
+        // add qword [base+disp], imm — the counter flush.
+        if (m.reg != 0 || !x.w) return bad("memory group-1 outside subset");
+        if (m.index != -1) return bad("indexed add-mem outside subset");
+        x.op = XOp::AddMem;
+        x.base = static_cast<int8_t>(m.base);
+        x.disp = m.disp;
+        x.imm = imm;
+        return finish();
+      }
+      if (!grp1_op(m.reg, &x.op)) return bad("group-1 ext outside subset");
+      x.imm_form = true;
+      x.base = static_cast<int8_t>(m.base);
+      x.imm = imm;
+      return finish();
+    }
+
+    case K::Grp3: {
+      if (!parse_modrm(r, rex_r, rex_x, rex_b, &m, err)) return false;
+      if (!m.is_reg) return bad("memory group-3 outside subset");
+      x.base = static_cast<int8_t>(m.base);
+      if (m.reg == 0) {
+        x.op = XOp::Test;
+        x.imm_form = true;
+        x.imm = static_cast<int32_t>(r.u32());
+        return finish();
+      }
+      if (m.reg == 3) {
+        x.op = XOp::Neg;
+        return finish();
+      }
+      if (m.reg == 6) {
+        x.op = XOp::Div;
+        return finish();
+      }
+      return bad("group-3 ext outside subset");
+    }
+
+    case K::Shift: {
+      if (!parse_modrm(r, rex_r, rex_x, rex_b, &m, err)) return false;
+      if (!m.is_reg) return bad("memory shift outside subset");
+      if (!shift_op(m.reg, &x.op)) return bad("shift ext outside subset");
+      x.base = static_cast<int8_t>(m.base);
+      if (b == 0xC1) {
+        x.imm_form = true;
+        x.imm = r.u8();
+      }
+      return finish();
+    }
+
+    case K::MovB8: {
+      x.op = XOp::MovRI;
+      x.base = static_cast<int8_t>((b - 0xB8) | (rex_b << 3));
+      if (x.w) {
+        x.imm = static_cast<int64_t>(r.u64());  // movabs
+        x.imm_form = true;                      // marks the 10-byte form
+      } else {
+        x.imm = static_cast<int64_t>(r.u32());  // zero-extends
+      }
+      return finish();
+    }
+
+    case K::C6: {
+      if (!parse_modrm(r, rex_r, rex_x, rex_b, &m, err)) return false;
+      if (m.is_reg || m.reg != 0) return bad("C6 form outside subset");
+      if (m.index != -1) return bad("indexed store outside subset");
+      x.op = XOp::StoreImm;
+      x.width = 1;
+      x.base = static_cast<int8_t>(m.base);
+      x.disp = m.disp;
+      x.imm = r.u8();
+      return finish();
+    }
+
+    case K::C7: {
+      if (!parse_modrm(r, rex_r, rex_x, rex_b, &m, err)) return false;
+      if (m.reg != 0) return bad("C7 ext outside subset");
+      if (m.is_reg) {
+        // mov r64, simm32 (mov_ri's middle form).
+        if (!x.w) return bad("32-bit C7 reg form outside subset");
+        x.op = XOp::MovRI;
+        x.base = static_cast<int8_t>(m.base);
+        x.imm = static_cast<int32_t>(r.u32());  // sign-extends
+        return finish();
+      }
+      if (m.index != -1) return bad("indexed store outside subset");
+      x.op = XOp::StoreImm;
+      x.base = static_cast<int8_t>(m.base);
+      x.disp = m.disp;
+      if (opsize16) {
+        x.width = 2;
+        x.imm = r.u8() | (static_cast<int64_t>(r.u8()) << 8);
+      } else if (x.w) {
+        x.width = 8;
+        x.imm = static_cast<int32_t>(r.u32());  // sign-extends
+      } else {
+        x.width = 4;
+        x.imm = static_cast<int64_t>(r.u32());
+      }
+      return finish();
+    }
+
+    case K::Lea8D: {
+      if (!parse_modrm(r, rex_r, rex_x, rex_b, &m, err)) return false;
+      if (m.is_reg || !x.w) return bad("lea form outside subset");
+      if (m.index != -1) return bad("indexed lea outside subset");
+      x.op = XOp::Lea;
+      x.reg = static_cast<int8_t>(m.reg);
+      x.base = static_cast<int8_t>(m.base);
+      x.disp = m.disp;
+      return finish();
+    }
+
+    case K::Push:
+      x.op = XOp::Push;
+      x.base = static_cast<int8_t>((b - 0x50) | (rex_b << 3));
+      return finish();
+    case K::Pop:
+      x.op = XOp::Pop;
+      x.base = static_cast<int8_t>((b - 0x58) | (rex_b << 3));
+      return finish();
+
+    case K::GrpFF: {
+      if (!parse_modrm(r, rex_r, rex_x, rex_b, &m, err)) return false;
+      if (!m.is_reg || m.reg != 2) return bad("FF ext outside subset");
+      x.op = XOp::CallR;
+      x.base = static_cast<int8_t>(m.base);
+      return finish();
+    }
+
+    case K::Imul69: {
+      if (!parse_modrm(r, rex_r, rex_x, rex_b, &m, err)) return false;
+      if (!m.is_reg) return bad("memory imul outside subset");
+      x.op = XOp::Imul;
+      x.imm_form = true;
+      x.reg = static_cast<int8_t>(m.reg);
+      x.base = static_cast<int8_t>(m.base);
+      x.imm = static_cast<int32_t>(r.u32());  // sign-extends
+      return finish();
+    }
+
+    case K::Ret:
+      x.op = XOp::Ret;
+      return finish();
+
+    case K::JmpR32:
+      x.op = XOp::Jmp;
+      x.rel = static_cast<int32_t>(r.u32());
+      return finish();
+    case K::JmpR8:
+      x.op = XOp::Jmp;
+      x.rel8 = true;
+      x.rel = static_cast<int8_t>(r.u8());
+      return finish();
+    case K::Jcc8:
+      x.op = XOp::Jcc;
+      x.rel8 = true;
+      x.cc = b & 0x0F;
+      x.rel = static_cast<int8_t>(r.u8());
+      return finish();
+
+    case K::Esc0F: {
+      const uint8_t b2 = r.u8();
+      if (!r.ok) {
+        *err = "truncated instruction";
+        return false;
+      }
+      switch (kTab.esc[b2]) {
+        case 1:  // movzx r, byte
+        case 2:  // movzx r, word
+          if (!parse_modrm(r, rex_r, rex_x, rex_b, &m, err)) return false;
+          if (m.is_reg) return bad("register-form movzx outside subset");
+          x.op = XOp::Load;
+          x.width = kTab.esc[b2] == 1 ? 1 : 2;
+          x.reg = static_cast<int8_t>(m.reg);
+          x.base = static_cast<int8_t>(m.base);
+          x.index = static_cast<int8_t>(m.index);
+          x.disp = m.disp;
+          return finish();
+        case 3:  // imul r, rm
+          if (!parse_modrm(r, rex_r, rex_x, rex_b, &m, err)) return false;
+          if (!m.is_reg) return bad("memory imul outside subset");
+          x.op = XOp::Imul;
+          x.reg = static_cast<int8_t>(m.reg);
+          x.base = static_cast<int8_t>(m.base);
+          return finish();
+        case 4:  // jcc rel32
+          x.op = XOp::Jcc;
+          x.cc = b2 & 0x0F;
+          x.rel = static_cast<int32_t>(r.u32());
+          return finish();
+        case 5: {  // xorps xmm0, xmm0 — fixed C0 modrm
+          const uint8_t mo = r.u8();
+          if (mo != 0xC0) return bad("xorps form outside subset");
+          x.op = XOp::Xorps;
+          return finish();
+        }
+        case 6:  // movaps [mem], xmm0
+          if (!parse_modrm(r, rex_r, rex_x, rex_b, &m, err)) return false;
+          if (m.is_reg || m.reg != 0) return bad("movaps form outside subset");
+          if (m.index != -1) return bad("indexed movaps outside subset");
+          x.op = XOp::MovapsZ;
+          x.base = static_cast<int8_t>(m.base);
+          x.disp = m.disp;
+          return finish();
+        default: {
+          char buf[64];
+          std::snprintf(buf, sizeof buf,
+                        "opcode 0F %02X outside emitter subset", b2);
+          *err = buf;
+          return false;
+        }
+      }
+    }
+
+    case K::Bad:
+      break;
+  }
+  return bad("opcode outside emitter subset");
+}
+
+namespace {
+
+const char* kReg64[16] = {"rax", "rcx", "rdx", "rbx", "rsp", "rbp",
+                          "rsi", "rdi", "r8",  "r9",  "r10", "r11",
+                          "r12", "r13", "r14", "r15"};
+
+std::string reg_name(int r) {
+  return (r >= 0 && r < 16) ? kReg64[r] : "r?";
+}
+
+std::string mem_ref(const XInsn& x) {
+  char buf[64];
+  if (x.index >= 0) {
+    std::snprintf(buf, sizeof buf, "[%s+%s*8]", kReg64[x.base & 15],
+                  kReg64[x.index & 15]);
+  } else {
+    std::snprintf(buf, sizeof buf, "[%s%+d]", kReg64[x.base & 15], x.disp);
+  }
+  return buf;
+}
+
+}  // namespace
+
+std::string to_text(const XInsn& x) {
+  char buf[96];
+  switch (x.op) {
+    case XOp::MovRR:
+      std::snprintf(buf, sizeof buf, "mov%s %s, %s", x.w ? "" : "32",
+                    reg_name(x.base).c_str(), reg_name(x.reg).c_str());
+      return buf;
+    case XOp::MovRI:
+      std::snprintf(buf, sizeof buf, "mov %s, 0x%" PRIx64,
+                    reg_name(x.base).c_str(),
+                    static_cast<uint64_t>(x.imm));
+      return buf;
+    case XOp::Add: case XOp::Or: case XOp::And: case XOp::Sub:
+    case XOp::Xor: case XOp::Cmp: case XOp::Test:
+      if (x.imm_form) {
+        std::snprintf(buf, sizeof buf, "%s%s %s, 0x%" PRIx64,
+                      to_string(x.op), x.w ? "" : "32",
+                      reg_name(x.base).c_str(),
+                      static_cast<uint64_t>(x.imm));
+      } else {
+        std::snprintf(buf, sizeof buf, "%s%s %s, %s", to_string(x.op),
+                      x.w ? "" : "32", reg_name(x.base).c_str(),
+                      reg_name(x.reg).c_str());
+      }
+      return buf;
+    case XOp::Imul:
+      if (x.imm_form) {
+        std::snprintf(buf, sizeof buf, "imul %s, %s, 0x%" PRIx64,
+                      reg_name(x.reg).c_str(), reg_name(x.base).c_str(),
+                      static_cast<uint64_t>(x.imm));
+      } else {
+        std::snprintf(buf, sizeof buf, "imul %s, %s",
+                      reg_name(x.reg).c_str(), reg_name(x.base).c_str());
+      }
+      return buf;
+    case XOp::Div:
+      std::snprintf(buf, sizeof buf, "div%s %s", x.w ? "" : "32",
+                    reg_name(x.base).c_str());
+      return buf;
+    case XOp::Neg:
+      std::snprintf(buf, sizeof buf, "neg%s %s", x.w ? "" : "32",
+                    reg_name(x.base).c_str());
+      return buf;
+    case XOp::Shl: case XOp::Shr: case XOp::Sar:
+      if (x.imm_form) {
+        std::snprintf(buf, sizeof buf, "%s%s %s, %d", to_string(x.op),
+                      x.w ? "" : "32", reg_name(x.base).c_str(),
+                      static_cast<int>(x.imm));
+      } else {
+        std::snprintf(buf, sizeof buf, "%s%s %s, cl", to_string(x.op),
+                      x.w ? "" : "32", reg_name(x.base).c_str());
+      }
+      return buf;
+    case XOp::Load:
+      std::snprintf(buf, sizeof buf, "mov %s, %s (w%d)",
+                    reg_name(x.reg).c_str(), mem_ref(x).c_str(), x.width);
+      return buf;
+    case XOp::Store:
+      std::snprintf(buf, sizeof buf, "mov %s, %s (w%d)", mem_ref(x).c_str(),
+                    reg_name(x.reg).c_str(), x.width);
+      return buf;
+    case XOp::StoreImm:
+      std::snprintf(buf, sizeof buf, "mov %s, 0x%" PRIx64 " (w%d)",
+                    mem_ref(x).c_str(), static_cast<uint64_t>(x.imm),
+                    x.width);
+      return buf;
+    case XOp::AddMem:
+      std::snprintf(buf, sizeof buf, "add qword %s, 0x%" PRIx64,
+                    mem_ref(x).c_str(), static_cast<uint64_t>(x.imm));
+      return buf;
+    case XOp::Lea:
+      std::snprintf(buf, sizeof buf, "lea %s, %s",
+                    reg_name(x.reg).c_str(), mem_ref(x).c_str());
+      return buf;
+    case XOp::Push:
+      std::snprintf(buf, sizeof buf, "push %s", reg_name(x.base).c_str());
+      return buf;
+    case XOp::Pop:
+      std::snprintf(buf, sizeof buf, "pop %s", reg_name(x.base).c_str());
+      return buf;
+    case XOp::CallR:
+      std::snprintf(buf, sizeof buf, "call %s", reg_name(x.base).c_str());
+      return buf;
+    case XOp::Ret:
+      return "ret";
+    case XOp::Jmp:
+      std::snprintf(buf, sizeof buf, "jmp %+d", x.rel);
+      return buf;
+    case XOp::Jcc:
+      std::snprintf(buf, sizeof buf, "jcc(%X) %+d", x.cc, x.rel);
+      return buf;
+    case XOp::Xorps:
+      return "xorps xmm0, xmm0";
+    case XOp::MovapsZ:
+      std::snprintf(buf, sizeof buf, "movaps %s, xmm0", mem_ref(x).c_str());
+      return buf;
+  }
+  return "?";
+}
+
+}  // namespace hermes::bpf::jit::validate

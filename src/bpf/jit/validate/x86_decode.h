@@ -1,0 +1,79 @@
+// Table-driven x86-64 decoder for the translation validator (validate.h).
+//
+// This is NOT a general x86 decoder: it recognizes exactly the instruction
+// subset CodeBuf (bpf/jit/codegen.h) can emit — the closed set the tier-3
+// JIT's code generator is built from — and rejects everything else. That
+// is a feature: any byte sequence outside the emitter's vocabulary in the
+// W^X buffer is evidence of a codegen bug (or corrupted metadata), and the
+// validator's job is to refuse it loudly rather than guess at semantics.
+//
+// Decoding is independent of the encoder by construction: the tables
+// below are written from the Intel SDM encodings (prefix/opcode/modrm/SIB
+// rules), not by calling into CodeBuf, so an encoding slip on either side
+// shows up as a mismatch instead of cancelling out.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace hermes::bpf::jit::validate {
+
+// Decoded operation, normalized across encodings (e.g. 83 /0 imm8 and
+// 81 /0 imm32 both decode to Add with imm_form = true).
+enum class XOp : uint8_t {
+  MovRR,     // 89 /r, mod=3 (dst = base, src = reg; w selects 64/32)
+  MovRI,     // B8+r imm32 (zero-extend) / REX.W C7 /0 simm32 / REX.W
+             // B8+r imm64 — `imm` holds the final 64-bit value
+  Add, Or, And, Sub, Xor, Cmp, Test,  // rr store form (dst = base,
+             // src = reg) or group-1 imm form (dst = base, imm)
+  Imul,      // 0F AF /r (dst = reg, src = base) or 69 /r imm32
+  Div,       // F7 /6 (unsigned rdx:rax / base)
+  Neg,       // F7 /3
+  Shl, Shr, Sar,  // D3 /ext (count in cl) or C1 /ext imm8 (imm_form)
+  Load,      // movzx (0F B6/B7) or mov (8B): dst = reg, width 1/2/4/8;
+             // [base + disp] or [base + index*8]
+  Store,     // 88 / 66 89 / 89 / REX.W 89 to memory: src = reg
+  StoreImm,  // C6 / 66 C7 / C7 / REX.W C7 to memory
+  AddMem,    // 83|81 /0 to memory: add qword [base + disp], imm
+  Lea,       // REX.W 8D: dst = reg, value = base + disp
+  Push, Pop, // 50+r / 58+r: register in `base`
+  CallR,     // FF /2: target register in `base`
+  Ret,       // C3
+  Jmp,       // E9 rel32 / EB rel8
+  Jcc,       // 0F 8x rel32 / 7x rel8 (`cc` = low nibble)
+  Xorps,     // 0F 57 C0 (xmm0 ^= xmm0; prologue only)
+  MovapsZ,   // 0F 29: movaps [base + disp], xmm0 (prologue only)
+};
+
+const char* to_string(XOp op);
+
+// One decoded instruction. Operand roles follow the per-XOp conventions
+// documented above; unused fields stay at their defaults.
+struct XInsn {
+  uint32_t off = 0;       // byte offset in the buffer (filled by caller)
+  uint8_t len = 0;        // encoded length in bytes
+  XOp op = XOp::Ret;
+  bool w = false;         // 64-bit operand size (REX.W)
+  uint8_t width = 0;      // memory access width in bytes (Load/Store*)
+  bool imm_form = false;  // immediate form of an ALU/shift/imul op
+  bool rel8 = false;      // Jmp/Jcc used the rel8 encoding
+  int8_t reg = -1;        // modrm.reg operand (REX.R applied)
+  int8_t base = -1;       // modrm.rm / SIB.base operand (REX.B applied)
+  int8_t index = -1;      // SIB.index, scale fixed at 8 (REX.X applied)
+  int32_t disp = 0;       // memory displacement
+  int64_t imm = 0;        // immediate, extended per encoding rules
+  int32_t rel = 0;        // branch displacement (from next-insn address)
+  uint8_t cc = 0;         // Jcc condition (0F 8x / 7x low nibble)
+};
+
+// Decode one instruction at `p` (at most `avail` bytes). On success fills
+// `*out` (except .off) and returns true; on any byte sequence outside the
+// emitter subset returns false with a diagnostic in `*err`.
+bool decode_one(const uint8_t* p, size_t avail, XInsn* out,
+                std::string* err);
+
+// Compact disassembly for rejection diagnostics, e.g.
+// "add r12, 0x7" or "mov rax, [r9+0x0] (w4)".
+std::string to_text(const XInsn& x);
+
+}  // namespace hermes::bpf::jit::validate

@@ -9,6 +9,7 @@
 
 #include "bpf/analysis/interp.h"
 #include "bpf/jit/jit.h"
+#include "bpf/jit/validate/validate.h"
 #include "util/check.h"
 
 namespace hermes::bpf {
@@ -21,6 +22,17 @@ const char* to_string(ExecTier t) {
     case ExecTier::Threaded: return "threaded";
     case ExecTier::Elide: return "elide";
     case ExecTier::Jit: return "jit";
+  }
+  return "?";
+}
+
+const char* to_string(JitFallbackKind k) {
+  switch (k) {
+    case JitFallbackKind::None: return "none";
+    case JitFallbackKind::Disabled: return "disabled";
+    case JitFallbackKind::AllocFailure: return "alloc_failure";
+    case JitFallbackKind::ValidateReject: return "validate_reject";
+    case JitFallbackKind::Other: return "other";
   }
   return "?";
 }
@@ -197,6 +209,10 @@ std::unique_ptr<ExecutionPlan> compile_plan(
       (tier == ExecTier::Elide || tier == ExecTier::Jit) && facts != nullptr;
 
   std::vector<uint32_t> uop_of_pc(prog.size(), kNoUop);
+  // Micro-op -> source pc, for the translation validator's elision-
+  // coverage check (an unchecked access must trace to a proven fact at
+  // its source pc). Local: the hot-path MicroOp layout stays untouched.
+  std::vector<uint32_t> src_pc;
   struct Fixup {
     size_t uop;
     size_t target_pc;
@@ -316,6 +332,7 @@ std::unique_ptr<ExecutionPlan> compile_plan(
 
     uop_of_pc[pc] = static_cast<uint32_t>(plan->ops_.size());
     plan->ops_.push_back(u);
+    src_pc.push_back(static_cast<uint32_t>(pc));
     if (needs_fixup) {
       fixups.push_back({plan->ops_.size() - 1, target_pc});
     }
@@ -336,10 +353,30 @@ std::unique_ptr<ExecutionPlan> compile_plan(
     // same micro-ops run under the tier-2 dispatch loop, and the reason
     // is surfaced through Vm::jit_fallback_reason / bpf.jit_fallbacks.
     std::string reason;
-    plan->jit_ = jit::compile(plan->ops_, &reason);
+    JitFallbackKind kind = JitFallbackKind::Other;
+    plan->jit_ = jit::compile(plan->ops_, &reason, &kind);
+    if (plan->jit_ != nullptr && jit::validate::enabled()) {
+      // Translation validation: prove the emitted buffer matches the
+      // micro-op semantics before accepting tier 3. A rejection is loud
+      // (decoded-window diagnostic in the reason) but non-fatal — the
+      // tier-2 dispatch loop runs the identical micro-ops.
+      jit::validate::Request req;
+      req.code = plan->jit_.get();
+      req.ops = plan->ops_;
+      req.src_pc = src_pc;
+      req.maps = maps;
+      req.facts = facts;
+      jit::validate::Result vres = jit::validate::validate(req);
+      if (!vres.ok) {
+        plan->jit_.reset();
+        reason = "validation rejected: " + vres.error;
+        kind = JitFallbackKind::ValidateReject;
+      }
+    }
     if (plan->jit_ == nullptr) {
       plan->tier_ = ExecTier::Elide;
       plan->jit_fallback_reason_ = reason;
+      plan->jit_fallback_kind_ = kind;
     }
   }
   return plan;

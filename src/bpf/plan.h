@@ -54,6 +54,21 @@ enum class ExecTier : uint8_t {
 
 const char* to_string(ExecTier t);
 
+// Why a tier-3 (Jit) load request landed on Elide instead. Split out so
+// observability can count fallback causes separately (the
+// bpf.jit_fallbacks_* counters) rather than folding an alloc failure, an
+// operator switch, and a translation-validation rejection into one number.
+enum class JitFallbackKind : uint8_t {
+  None = 0,        // no fallback: a tier-3 request got tier 3
+  Disabled,        // HERMES_BPF_JIT=off|0, or the host is not x86-64
+  AllocFailure,    // the W^X buffer could not be mapped or protected
+  ValidateReject,  // translation validation rejected the emitted code
+  Other,           // codegen refusal (a micro-op it cannot translate)
+};
+inline constexpr size_t kJitFallbackKindCount = 5;
+
+const char* to_string(JitFallbackKind k);
+
 // Process-wide default, read once from HERMES_BPF_TIER (0|1|2|3). Unset or
 // unparsable means Elide: verified programs carry their own safety proof,
 // so the fastest always-available tier is the production configuration.
@@ -135,6 +150,7 @@ class ExecutionPlan {
   const std::string& jit_fallback_reason() const {
     return jit_fallback_reason_;
   }
+  JitFallbackKind jit_fallback_kind() const { return jit_fallback_kind_; }
 
   // Run the plan. Register/stack/helper semantics mirror Vm::run exactly;
   // violations abort (the program was verified — a trip here is a repo
@@ -154,6 +170,7 @@ class ExecutionPlan {
   Stats stats_;
   std::unique_ptr<jit::JitCode> jit_;  // tier 3 only
   std::string jit_fallback_reason_;
+  JitFallbackKind jit_fallback_kind_ = JitFallbackKind::None;
 };
 
 // Compile a verified program into a plan. `facts` (the verifier's

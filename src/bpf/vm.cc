@@ -41,6 +41,8 @@ std::unique_ptr<LoadedProgram> Vm::load(Program prog, std::vector<Map*> maps,
     if (tier_ == ExecTier::Jit && lp->tier_ != ExecTier::Jit) {
       ++jit_fallbacks_;
       jit_fallback_reason_ = lp->plan_->jit_fallback_reason();
+      jit_fallback_kind_ = lp->plan_->jit_fallback_kind();
+      ++jit_fallbacks_by_kind_[static_cast<size_t>(jit_fallback_kind_)];
     }
   }
   return lp;

@@ -91,10 +91,15 @@ class Vm {
   // Tier-3 fallback state: how many load() calls requested Jit but got an
   // Elide plan, and why the most recent one fell back. Never a silent
   // downgrade — core/hermes.cc forwards this to the bpf.jit_fallbacks
-  // observability counter.
+  // observability counters (split by kind: disabled / alloc failure /
+  // validation rejection).
   uint64_t jit_fallbacks() const { return jit_fallbacks_; }
   const std::string& jit_fallback_reason() const {
     return jit_fallback_reason_;
+  }
+  JitFallbackKind jit_fallback_kind() const { return jit_fallback_kind_; }
+  uint64_t jit_fallbacks_by_kind(JitFallbackKind k) const {
+    return jit_fallbacks_by_kind_[static_cast<size_t>(k)];
   }
 
  private:
@@ -106,6 +111,8 @@ class Vm {
   mutable uint64_t total_insns_ = 0;
   mutable uint64_t jit_fallbacks_ = 0;
   mutable std::string jit_fallback_reason_;
+  mutable JitFallbackKind jit_fallback_kind_ = JitFallbackKind::None;
+  mutable uint64_t jit_fallbacks_by_kind_[kJitFallbackKindCount] = {};
 };
 
 }  // namespace hermes::bpf

@@ -221,6 +221,14 @@ struct PipelineMetrics {
   Counter* bpf_fused_ops;           // superinstructions executed (tier >= 1)
   Counter* bpf_elided_checks;       // bounds checks proven away (tier >= 2)
   Counter* bpf_jit_fallbacks;       // tier-3 loads that fell back to tier 2
+  // The fallback total split by cause (bpf::JitFallbackKind), plus the
+  // translation validator's verdicts (bpf/jit/validate/) — a nonzero
+  // validate_rejects is a codegen bug caught before first dispatch.
+  Counter* bpf_jit_fallbacks_disabled;  // JIT off by env / non-x86 host
+  Counter* bpf_jit_fallbacks_alloc;     // W^X buffer allocation failed
+  Counter* bpf_jit_fallbacks_validate;  // translation validation rejected
+  Counter* bpf_validate_accepts;        // buffers proven equivalent
+  Counter* bpf_validate_rejects;        // buffers refused at load time
 
   // netsim accept queues.
   Counter* accept_enqueued;     // sharded by owning worker

@@ -1,0 +1,397 @@
+// Translation-validator tests (src/bpf/jit/validate/): decoder round-trips
+// over the emitter subset, clean programs accepted at tier 3, and the
+// mutation self-test — jit::testing::set_mutation plants one targeted
+// codegen bug per compile (flipped rel32, wrong immediate, dropped bounds
+// check, swapped registers) and the validator must reject every one at
+// load time, landing the program on tier 2 through the jit_fallbacks
+// machinery with the validate_reject kind. Mutated buffers are never
+// executed: rejection happens before the first run() and frees the code.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bpf/assembler.h"
+#include "bpf/insn.h"
+#include "bpf/jit/codegen.h"
+#include "bpf/jit/jit.h"
+#include "bpf/jit/validate/validate.h"
+#include "bpf/jit/validate/x86_decode.h"
+#include "bpf/maps.h"
+#include "bpf/plan.h"
+#include "bpf/vm.h"
+
+namespace hermes::bpf {
+namespace {
+
+using jit::testing::Mutation;
+
+// Force the validator on for every test in this file regardless of build
+// type, restoring the caller's environment afterwards (check.sh tier
+// sweeps run this binary with their own settings).
+class BpfValidateTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const char* v = std::getenv("HERMES_BPF_VALIDATE");
+    had_env_ = v != nullptr;
+    if (had_env_) saved_ = v;
+    ::setenv("HERMES_BPF_VALIDATE", "1", 1);
+  }
+  void TearDown() override {
+    jit::testing::set_mutation(Mutation::None);
+    if (had_env_) {
+      ::setenv("HERMES_BPF_VALIDATE", saved_.c_str(), 1);
+    } else {
+      ::unsetenv("HERMES_BPF_VALIDATE");
+    }
+  }
+
+ private:
+  bool had_env_ = false;
+  std::string saved_;
+};
+
+struct Loaded {
+  Vm vm;
+  std::unique_ptr<LoadedProgram> prog;
+  std::string err;
+};
+
+Loaded load_jit(const Program& p, std::vector<Map*> maps = {}) {
+  Loaded l;
+  l.vm.set_tier(ExecTier::Jit);
+  l.prog = l.vm.load(p, std::move(maps), &l.err);
+  return l;
+}
+
+Program branchy_program() {
+  Assembler a;
+  a.mov(r6, 7)
+      .jeq(r6, 7, "hit")
+      .mov(r0, 1)
+      .exit()
+      .label("hit")
+      .mov(r0, 2)
+      .exit();
+  return a.finish();
+}
+
+// A memory access with no covering verifier fact, so codegen must keep
+// the rt_check_access call — exactly the call the SkipBoundsCheck
+// mutation deletes. Every REACHABLE access is proven by the verifier's
+// abstract interpreter, so the checked path is reached through provably
+// dead code: the branch condition is constant, the fallthrough edge is
+// pruned as infeasible, and the load on it is never visited (hence never
+// proven) yet still compiled.
+Program checked_access_program() {
+  Assembler a;
+  a.mov(r6, 1)
+      .mov(r7, r10)
+      .jeq(r6, 1, "skip")
+      .ldx_w(r0, r7, -8)  // dead: unproven, compiled as a checked access
+      .label("skip")
+      .mov(r0, 7)
+      .exit();
+  return a.finish();
+}
+
+// ---------------------------------------------------------------------
+// Decoder round-trips: encode through CodeBuf (the emitter), decode with
+// the independent table decoder, compare the normalized operands.
+// ---------------------------------------------------------------------
+
+using jit::validate::XInsn;
+using jit::validate::XOp;
+
+XInsn decode_at(const jit::CodeBuf& b, size_t off) {
+  XInsn x;
+  std::string err;
+  EXPECT_TRUE(jit::validate::decode_one(b.data() + off, b.size() - off, &x,
+                                        &err))
+      << err;
+  return x;
+}
+
+TEST_F(BpfValidateTest, DecoderRoundTripsAluAndMoves) {
+  jit::CodeBuf b;
+  b.mov_rr64(jit::RBX, jit::R13);
+  XInsn x = decode_at(b, 0);
+  EXPECT_EQ(x.op, XOp::MovRR);
+  EXPECT_TRUE(x.w);
+  EXPECT_EQ(x.base, jit::RBX);
+  EXPECT_EQ(x.reg, jit::R13);
+
+  jit::CodeBuf c;
+  c.mov_ri(jit::R14, 0x11223344556677ull);  // needs the movabs form
+  x = decode_at(c, 0);
+  EXPECT_EQ(x.op, XOp::MovRI);
+  EXPECT_EQ(static_cast<uint64_t>(x.imm), 0x11223344556677ull);
+  EXPECT_EQ(x.base, jit::R14);
+
+  jit::CodeBuf d;
+  d.mov_ri(jit::RCX, 42);  // compact 32-bit zero-extending form
+  x = decode_at(d, 0);
+  EXPECT_EQ(x.op, XOp::MovRI);
+  EXPECT_EQ(x.imm, 42);
+
+  jit::CodeBuf e;
+  e.alu_ri64(0, jit::R12, 19);  // add r12, 19 (the accounting flush)
+  x = decode_at(e, 0);
+  EXPECT_EQ(x.op, XOp::Add);
+  EXPECT_TRUE(x.imm_form);
+  EXPECT_EQ(x.base, jit::R12);
+  EXPECT_EQ(x.imm, 19);
+}
+
+TEST_F(BpfValidateTest, DecoderRoundTripsMemoryAndBranches) {
+  jit::CodeBuf b;
+  b.load64(jit::R9, jit::RSP, 48);
+  XInsn x = decode_at(b, 0);
+  EXPECT_EQ(x.op, XOp::Load);
+  EXPECT_EQ(x.width, 8);
+  EXPECT_EQ(x.reg, jit::R9);
+  EXPECT_EQ(x.base, jit::RSP);
+  EXPECT_EQ(x.disp, 48);
+
+  jit::CodeBuf c;
+  c.store16(jit::RBP, -4, jit::R8);
+  x = decode_at(c, 0);
+  EXPECT_EQ(x.op, XOp::Store);
+  EXPECT_EQ(x.width, 2);
+  EXPECT_EQ(x.base, jit::RBP);
+  EXPECT_EQ(x.disp, -4);
+  EXPECT_EQ(x.reg, jit::R8);
+
+  jit::CodeBuf d;
+  const size_t pos = d.jcc_rel32(jit::CC_AE);
+  d.patch_rel32(pos, 0x120);
+  x = decode_at(d, 0);
+  EXPECT_EQ(x.op, XOp::Jcc);
+  EXPECT_FALSE(x.rel8);
+  EXPECT_EQ(x.cc, jit::CC_AE);
+  EXPECT_EQ(static_cast<uint32_t>(x.len) + x.rel, 0x120);
+
+  jit::CodeBuf e;
+  e.add_mem_imm64(jit::R11, 40, 3);
+  x = decode_at(e, 0);
+  EXPECT_EQ(x.op, XOp::AddMem);
+  EXPECT_EQ(x.base, jit::R11);
+  EXPECT_EQ(x.disp, 40);
+  EXPECT_EQ(x.imm, 3);
+}
+
+TEST_F(BpfValidateTest, DecoderRejectsBytesOutsideTheEmitterSubset) {
+  // 0F 05 (syscall) is not in the emitter vocabulary.
+  const uint8_t bad[] = {0x0F, 0x05};
+  XInsn x;
+  std::string err;
+  EXPECT_FALSE(jit::validate::decode_one(bad, sizeof(bad), &x, &err));
+  EXPECT_FALSE(err.empty());
+}
+
+// ---------------------------------------------------------------------
+// Acceptance: clean compiles must validate (no false rejections).
+// ---------------------------------------------------------------------
+
+TEST_F(BpfValidateTest, CleanProgramsValidateAndRunAtTier3) {
+  const uint64_t r0_before = jit::validate::rejects();
+  const uint64_t a0 = jit::validate::accepts();
+
+  for (const Program& p :
+       {branchy_program(), checked_access_program()}) {
+    auto l = load_jit(p);
+    ASSERT_NE(l.prog, nullptr) << l.err;
+    if (jit::available()) {
+      EXPECT_EQ(l.prog->tier(), ExecTier::Jit)
+          << l.vm.jit_fallback_reason();
+      ReuseportCtx ctx;
+      ctx.hash = 5;
+      (void)l.vm.run(*l.prog, ctx);
+    }
+  }
+  if (jit::available()) {
+    EXPECT_GT(jit::validate::accepts(), a0);
+    EXPECT_EQ(jit::validate::rejects(), r0_before);
+  }
+}
+
+TEST_F(BpfValidateTest, MapProgramsValidateBakedImmediates) {
+  if (!jit::available()) GTEST_SKIP() << "JIT unavailable on this host";
+  ArrayMap map(8, 16);
+  Assembler a;
+  a.mov(r7, r10)
+      .sub(r7, 8)
+      .st_w(r7, 0, 3)
+      .ld_map_fd(r1, 0)
+      .mov(r2, r7)
+      .call(HelperId::MapLookupElem)
+      .jne(r0, 0, "hit")
+      .mov(r0, 0)
+      .exit()
+      .label("hit")
+      .ldx_w(r0, r0, 0)
+      .exit();
+  const uint64_t a0 = jit::validate::accepts();
+  auto l = load_jit(a.finish(), {&map});
+  ASSERT_NE(l.prog, nullptr) << l.err;
+  EXPECT_EQ(l.prog->tier(), ExecTier::Jit) << l.vm.jit_fallback_reason();
+  EXPECT_GT(jit::validate::accepts(), a0);
+}
+
+// ---------------------------------------------------------------------
+// The mutation self-test: every planted codegen bug must be rejected.
+// ---------------------------------------------------------------------
+
+struct MutationCase {
+  Mutation mutation;
+  const char* name;
+  Program (*program)();
+};
+
+Program add_program() {
+  Assembler a;
+  a.mov(r3, 5).mov(r4, 9).add(r3, r4).mov(r0, r3).exit();
+  return a.finish();
+}
+
+Program imm_program() {
+  Assembler a;
+  a.mov(r0, 41).add(r0, 1).exit();
+  return a.finish();
+}
+
+void expect_mutant_killed(const MutationCase& mc) {
+  SCOPED_TRACE(mc.name);
+  const Program p = mc.program();
+  const uint64_t rejects0 = jit::validate::rejects();
+
+  jit::testing::set_mutation(mc.mutation);
+  auto l = load_jit(p);
+  jit::testing::set_mutation(Mutation::None);
+
+  ASSERT_NE(l.prog, nullptr) << l.err;
+  // The mutated buffer must be rejected before it can ever run: the
+  // program lands on tier 2 with the validate_reject fallback kind and a
+  // decoded-window diagnostic.
+  EXPECT_EQ(l.prog->tier(), ExecTier::Elide);
+  EXPECT_EQ(l.vm.jit_fallbacks(), 1u);
+  EXPECT_EQ(l.vm.jit_fallback_kind(), JitFallbackKind::ValidateReject);
+  EXPECT_EQ(l.vm.jit_fallbacks_by_kind(JitFallbackKind::ValidateReject), 1u);
+  EXPECT_NE(l.vm.jit_fallback_reason().find("validation rejected"),
+            std::string::npos)
+      << l.vm.jit_fallback_reason();
+  EXPECT_GT(jit::validate::rejects(), rejects0);
+
+  // The tier-2 plan it fell back to still runs correctly.
+  ReuseportCtx ctx;
+  const auto run = l.vm.run(*l.prog, ctx);
+  EXPECT_EQ(run.tier, ExecTier::Elide);
+
+  // A clean reload of the same program re-validates and reaches tier 3.
+  const uint64_t accepts0 = jit::validate::accepts();
+  auto clean = load_jit(p);
+  ASSERT_NE(clean.prog, nullptr) << clean.err;
+  EXPECT_EQ(clean.prog->tier(), ExecTier::Jit)
+      << clean.vm.jit_fallback_reason();
+  EXPECT_GT(jit::validate::accepts(), accepts0);
+}
+
+TEST_F(BpfValidateTest, KillsFlippedBranchTarget) {
+  if (!jit::available()) GTEST_SKIP() << "JIT unavailable on this host";
+  expect_mutant_killed({Mutation::FlipRel32, "FlipRel32", branchy_program});
+}
+
+TEST_F(BpfValidateTest, KillsWrongImmediate) {
+  if (!jit::available()) GTEST_SKIP() << "JIT unavailable on this host";
+  expect_mutant_killed({Mutation::WrongImmediate, "WrongImmediate",
+                        imm_program});
+}
+
+TEST_F(BpfValidateTest, KillsSkippedBoundsCheck) {
+  if (!jit::available()) GTEST_SKIP() << "JIT unavailable on this host";
+  expect_mutant_killed({Mutation::SkipBoundsCheck, "SkipBoundsCheck",
+                        checked_access_program});
+}
+
+TEST_F(BpfValidateTest, KillsSwappedRegisters) {
+  if (!jit::available()) GTEST_SKIP() << "JIT unavailable on this host";
+  expect_mutant_killed({Mutation::SwapRegisters, "SwapRegisters",
+                        add_program});
+}
+
+// ---------------------------------------------------------------------
+// Gating and counter split.
+// ---------------------------------------------------------------------
+
+TEST_F(BpfValidateTest, DisabledGateSkipsValidation) {
+  if (!jit::available()) GTEST_SKIP() << "JIT unavailable on this host";
+  ::setenv("HERMES_BPF_VALIDATE", "0", 1);
+  EXPECT_FALSE(jit::validate::enabled());
+  const uint64_t a0 = jit::validate::accepts();
+  const uint64_t rejects0 = jit::validate::rejects();
+  // Even a mutated compile goes unvalidated straight to tier 3; do NOT
+  // run it. This is exactly why the gate defaults on outside release.
+  jit::testing::set_mutation(Mutation::WrongImmediate);
+  auto l = load_jit(imm_program());
+  jit::testing::set_mutation(Mutation::None);
+  ASSERT_NE(l.prog, nullptr) << l.err;
+  EXPECT_EQ(l.prog->tier(), ExecTier::Jit);
+  EXPECT_EQ(jit::validate::accepts(), a0);
+  EXPECT_EQ(jit::validate::rejects(), rejects0);
+  ::setenv("HERMES_BPF_VALIDATE", "1", 1);
+}
+
+TEST_F(BpfValidateTest, FallbackCountersSplitByKind) {
+  // This test drives HERMES_BPF_JIT itself (the dedicated fallback leg
+  // runs the whole jit label with it set to off), so save the incoming
+  // value and pin each sub-case's setting explicitly.
+  const char* prev_jit = ::getenv("HERMES_BPF_JIT");
+  const std::string saved_jit = prev_jit != nullptr ? prev_jit : "";
+  ::unsetenv("HERMES_BPF_JIT");
+
+  if (jit::available()) {
+    // Alloc failure — codegen must actually be attempted for the W^X
+    // allocation to fail, so this sub-case needs a usable JIT.
+    jit::testing::force_alloc_failure(true);
+    auto alloc = load_jit(imm_program());
+    jit::testing::force_alloc_failure(false);
+    ASSERT_NE(alloc.prog, nullptr) << alloc.err;
+    EXPECT_EQ(alloc.prog->tier(), ExecTier::Elide);
+    EXPECT_EQ(alloc.vm.jit_fallback_kind(), JitFallbackKind::AllocFailure);
+    EXPECT_EQ(
+        alloc.vm.jit_fallbacks_by_kind(JitFallbackKind::AllocFailure), 1u);
+  }
+
+  // Explicitly disabled.
+  ::setenv("HERMES_BPF_JIT", "off", 1);
+  auto off = load_jit(imm_program());
+  ::unsetenv("HERMES_BPF_JIT");
+  ASSERT_NE(off.prog, nullptr) << off.err;
+  EXPECT_EQ(off.prog->tier(), ExecTier::Elide);
+  EXPECT_EQ(off.vm.jit_fallback_kind(), JitFallbackKind::Disabled);
+  EXPECT_EQ(off.vm.jit_fallbacks_by_kind(JitFallbackKind::Disabled), 1u);
+
+  if (jit::available()) {
+    // Validation rejection lands in its own bucket, not the others'.
+    jit::testing::set_mutation(Mutation::WrongImmediate);
+    auto rej = load_jit(imm_program());
+    jit::testing::set_mutation(Mutation::None);
+    ASSERT_NE(rej.prog, nullptr) << rej.err;
+    EXPECT_EQ(rej.vm.jit_fallback_kind(), JitFallbackKind::ValidateReject);
+    EXPECT_EQ(
+        rej.vm.jit_fallbacks_by_kind(JitFallbackKind::ValidateReject), 1u);
+    EXPECT_EQ(rej.vm.jit_fallbacks_by_kind(JitFallbackKind::AllocFailure),
+              0u);
+  }
+
+  if (prev_jit != nullptr) {
+    ::setenv("HERMES_BPF_JIT", saved_jit.c_str(), 1);
+  } else {
+    ::unsetenv("HERMES_BPF_JIT");
+  }
+}
+
+}  // namespace
+}  // namespace hermes::bpf

@@ -27,8 +27,15 @@
 // meaningful on every architecture.
 //
 // One run covers >= 10,000 generated programs.
+// Tier-3 loads additionally run under the translation validator
+// (HERMES_BPF_VALIDATE=1, forced for the duration of each sweep): every
+// generated program and every dispatch geometry must validate with ZERO
+// rejections — a reject here is a validator false positive (or a real
+// codegen bug), either of which fails the run loudly with the decoded
+// window in the fallback reason.
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <cstring>
 #include <memory>
 #include <string>
@@ -36,6 +43,7 @@
 
 #include "bpf/insn.h"
 #include "bpf/jit/jit.h"
+#include "bpf/jit/validate/validate.h"
 #include "bpf/maps.h"
 #include "bpf/ref_interpreter.h"
 #include "bpf/vm.h"
@@ -60,6 +68,41 @@ ExecTier expected_tier(ExecTier requested) {
 }
 
 constexpr testing::GenOptions kGen{};  // defaults: 2-entry array, 8 socks
+
+// Force the translation validator on for one test's scope and assert no
+// rejections happened inside it: on a JIT-capable host the sweep must be
+// 100% false-positive free.
+class ValidateScope {
+ public:
+  ValidateScope() {
+    const char* v = std::getenv("HERMES_BPF_VALIDATE");
+    had_env_ = v != nullptr;
+    if (had_env_) saved_ = v;
+    ::setenv("HERMES_BPF_VALIDATE", "1", 1);
+    accepts0_ = jit::validate::accepts();
+    rejects0_ = jit::validate::rejects();
+  }
+  ~ValidateScope() {
+    EXPECT_EQ(jit::validate::rejects(), rejects0_)
+        << "translation validator rejected a clean compile (false "
+           "positive, or a real codegen bug)";
+    if (jit::available()) {
+      EXPECT_GT(jit::validate::accepts(), accepts0_)
+          << "tier-3 sweep ran but the validator was never invoked";
+    }
+    if (had_env_) {
+      ::setenv("HERMES_BPF_VALIDATE", saved_.c_str(), 1);
+    } else {
+      ::unsetenv("HERMES_BPF_VALIDATE");
+    }
+  }
+
+ private:
+  bool had_env_ = false;
+  std::string saved_;
+  uint64_t accepts0_ = 0;
+  uint64_t rejects0_ = 0;
+};
 
 // Deterministic helper functions: both runs see the same sequence.
 Vm::TimeFn counter_time(uint64_t& n) {
@@ -103,6 +146,7 @@ struct World {
 };
 
 TEST(TortureBpfDiff, TenThousandProgramsNoTrapNoDivergence) {
+  ValidateScope validate_scope;
   int accepted = 0;
   int rejected = 0;
   int accepted_with_loop = 0;
@@ -238,6 +282,7 @@ TEST(TortureBpfDiff, GeneratorIsDeterministic) {
 // program generator supports: single- and multi-group, minimum and
 // full-width (64-worker) bitmaps, and a non-power-of-two width.
 TEST(TortureBpfDiff, DispatchProgramAgreesWithReferenceInterpreter) {
+  ValidateScope validate_scope;
   struct Geometry {
     uint32_t groups;
     uint32_t workers_per_group;
