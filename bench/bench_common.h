@@ -21,7 +21,7 @@ namespace hermes::bench {
 // exit, alongside its normal human-readable stdout. The flag is stripped
 // from argv up front so binaries that hand argv to google-benchmark don't
 // trip over it. scripts/bench_report.sh aggregates the per-bench files into
-// BENCH_<n>.json; scripts/bench_gate.sh diffs a fast subset against
+// BENCH_REPORT.json; scripts/bench_gate.sh diffs a fast subset against
 // bench/baseline.json.
 class BenchJson {
  public:

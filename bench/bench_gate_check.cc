@@ -16,8 +16,9 @@
 //     (Table 5's claim that the observability layer is cheap enough to
 //     leave on). It is NOT compared against the baseline value — it is
 //     wall-clock and the budget is the contract.
-//   - metrics whose name ends in "avg_us", "_mops", ".speedup" or
-//     "_cost_ns" are wall-clock timings: reported but never gated.
+//   - metrics whose name ends in "avg_us", "_mops", ".speedup",
+//     "_cost_ns", "_wall_s" or "_per_wall_sec" are wall-clock timings:
+//     reported but never gated.
 //   - everything else is a deterministic seeded-simulation statistic and
 //     must satisfy |cur - base| <= kAbsTol + kRelTol * |base|. The 5%
 //     relative tolerance absorbs libm/compiler drift across toolchains
@@ -29,6 +30,10 @@
 // --scale F multiplies every gated current value by F before comparing.
 // It exists so scripts/bench_gate.sh can prove the gate trips: after the
 // real comparison passes, it reruns with --scale 1.2 and requires failure.
+//
+// --only <bench> restricts the comparison to one bench from the baseline
+// (the scale CI job compares just fleet_scale against the shared
+// baseline without rerunning the whole gate subset).
 #include <cctype>
 #include <cmath>
 #include <cstdio>
@@ -247,17 +252,21 @@ bool ends_with(const std::string& s, const char* suffix) {
 
 bool is_ungated(const std::string& metric) {
   return ends_with(metric, "avg_us") || ends_with(metric, "_mops") ||
-         ends_with(metric, ".speedup") || ends_with(metric, "_cost_ns");
+         ends_with(metric, ".speedup") || ends_with(metric, "_cost_ns") ||
+         ends_with(metric, "_wall_s") || ends_with(metric, "_per_wall_sec");
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   double scale = 1.0;
+  std::string only;
   std::vector<const char*> files;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--scale") == 0 && i + 1 < argc) {
       scale = std::atof(argv[++i]);
+    } else if (std::strcmp(argv[i], "--only") == 0 && i + 1 < argc) {
+      only = argv[++i];
     } else {
       files.push_back(argv[i]);
     }
@@ -265,7 +274,7 @@ int main(int argc, char** argv) {
   if (files.size() != 2) {
     std::fprintf(stderr,
                  "usage: bench_gate_check <baseline.json> <current.json>"
-                 " [--scale F]\n");
+                 " [--scale F] [--only <bench>]\n");
     return 2;
   }
 
@@ -276,6 +285,7 @@ int main(int argc, char** argv) {
 
   int checked = 0, failed = 0, skipped = 0;
   for (const auto& [bench, metrics] : baseline) {
+    if (!only.empty() && bench != only) continue;
     const auto cur_bench = current.find(bench);
     for (const auto& [metric, base_val] : metrics) {
       if (is_ungated(metric)) {

@@ -18,6 +18,9 @@
 #                     plan shape and insns/fused/elided-per-dispatch rates
 #   sched_path        fast-vs-reference schedule_and_sync cost; gates the
 #                     sweep sync/suppression counts and bitmap checksums
+#   fleet_scale       multi-LB fleet at 100k conns (FLEET_SCALE_CONNS):
+#                     gates connection counts, PCC violation counts and
+#                     fleet imbalance; the 1M leg runs nightly in CI
 # Comparison policy (tolerances, wall-clock exclusions) lives in
 # bench/bench_gate_check.cc.
 set -euo pipefail
@@ -26,7 +29,11 @@ cd "$(dirname "$0")/.."
 BUILD_DIR=${BUILD_DIR:-build}
 BASELINE=${BASELINE:-bench/baseline.json}
 GATE_BENCHES=(fig12_unit_cost fig13_load_sd table5_overhead analysis_cost
-              dispatch_path sched_path)
+              dispatch_path sched_path fleet_scale)
+
+# The gate runs the fleet bench at smoke scale; deterministic metrics scale
+# with the connection count, so the baseline is only valid at this value.
+export FLEET_SCALE_CONNS=${FLEET_SCALE_CONNS:-100000}
 
 refresh=0
 if [ "${1:-}" = "--refresh" ]; then

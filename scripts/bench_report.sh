@@ -2,9 +2,14 @@
 # Run every reproduction bench in --json mode and aggregate the per-bench
 # results into one machine-readable report.
 #
-#   scripts/bench_report.sh                 # all benches -> BENCH_5.json
+#   scripts/bench_report.sh                 # all benches -> BENCH_REPORT.json
 #   OUT=/tmp/r.json scripts/bench_report.sh fig12_unit_cost fig13_load_sd
 #   BUILD_DIR=build-ninja scripts/bench_report.sh
+#
+# With no arguments the bench list is discovered from the build directory:
+# every executable in $BUILD_DIR/bench except the gate comparator. New
+# benches registered in bench/CMakeLists.txt are picked up automatically —
+# no hand-maintained list to go stale.
 #
 # The report format is what bench/bench_gate_check.cc consumes:
 #   {"schema":1,"benches":[{"bench":"...","metrics":{...}}, ...]}
@@ -15,32 +20,37 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BUILD_DIR=${BUILD_DIR:-build}
-OUT=${OUT:-BENCH_5.json}
+OUT=${OUT:-BENCH_REPORT.json}
 JOBS=${JOBS:-$(nproc 2>/dev/null || echo 4)}
-
-ALL_BENCHES=(
-  table1_regions table2_imbalance table3_cases
-  fig3_lag_effect fig4_event_cdf fig5_time_cdf fig7_nic_vs_cpu
-  fig11_probes fig11_cluster fig12_unit_cost fig13_load_sd
-  fig14_filter_ratio fig15_theta_sweep figA5_rules
-  table5_overhead analysis_cost dispatch_path sched_path appendixC_sandbox
-  ablation_filter_order ablation_bitmap_sync ablation_sched_placement
-  ablation_group_locality ablation_backend_pool ablation_user_dispatcher
-  ablation_closed_loop ablation_wakeup_policy ablation_two_level
-  ablation_syn_retry
-)
-if [ $# -gt 0 ]; then
-  BENCHES=("$@")
-else
-  BENCHES=("${ALL_BENCHES[@]}")
-fi
 
 if [ ! -d "$BUILD_DIR" ]; then
   echo "==> configure $BUILD_DIR"
   cmake -B "$BUILD_DIR" -S . >/dev/null
 fi
-echo "==> build ${#BENCHES[@]} benches"
-cmake --build "$BUILD_DIR" -j "$JOBS" --target "${BENCHES[@]}"
+
+if [ $# -gt 0 ]; then
+  BENCHES=("$@")
+  echo "==> build ${#BENCHES[@]} benches"
+  cmake --build "$BUILD_DIR" -j "$JOBS" --target "${BENCHES[@]}"
+else
+  # Build everything under bench/ first so discovery sees new binaries.
+  echo "==> build bench directory"
+  cmake --build "$BUILD_DIR" -j "$JOBS" --target all >/dev/null
+  BENCHES=()
+  for bin in "$BUILD_DIR"/bench/*; do
+    [ -f "$bin" ] && [ -x "$bin" ] || continue
+    name=$(basename "$bin")
+    case "$name" in
+      bench_gate_check|*.json|*.cmake) continue ;;
+    esac
+    BENCHES+=("$name")
+  done
+  if [ ${#BENCHES[@]} -eq 0 ]; then
+    echo "bench_report: no bench binaries found in $BUILD_DIR/bench" >&2
+    exit 1
+  fi
+  echo "==> discovered ${#BENCHES[@]} benches in $BUILD_DIR/bench"
+fi
 
 tmp=$(mktemp -d)
 trap 'rm -rf "$tmp"' EXIT

@@ -20,8 +20,8 @@ class AcceptQueue {
   explicit AcceptQueue(size_t backlog = 1024) : backlog_(backlog) {}
 
   // Returns false (and drops) when the backlog is full.
-  bool push(Connection* c) {
-    HERMES_DCHECK(c != nullptr && c->state == ConnState::Queued);
+  bool push(Connection c) {
+    HERMES_DCHECK(c.valid() && c.state() == ConnState::Queued);
     if (queue_.size() >= backlog_) {
       ++dropped_;
       return false;
@@ -31,13 +31,17 @@ class AcceptQueue {
     return true;
   }
 
-  // accept(): dequeue the oldest pending connection, or nullptr.
-  Connection* pop() {
-    if (queue_.empty()) return nullptr;
-    Connection* c = queue_.front();
+  // accept(): dequeue the oldest pending connection; invalid view if empty.
+  Connection pop() {
+    if (queue_.empty()) return Connection{};
+    Connection c = queue_.front();
     queue_.pop_front();
     return c;
   }
+
+  // Account a backlog-overflow drop decided by the caller before any
+  // connection state was allocated (the admit fast path).
+  void note_drop() { ++dropped_; }
 
   bool empty() const { return queue_.empty(); }
   size_t size() const { return queue_.size(); }
@@ -47,7 +51,7 @@ class AcceptQueue {
 
  private:
   size_t backlog_;
-  std::deque<Connection*> queue_;
+  std::deque<Connection> queue_;
   uint64_t dropped_ = 0;
   size_t high_watermark_ = 0;
 };

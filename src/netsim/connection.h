@@ -1,33 +1,8 @@
 // A TCP connection after the in-"kernel" three-way handshake.
 //
-// netsim keeps connections intentionally thin: identity, tuple, and which
-// worker ended up owning them. The sim layer hangs workload state (request
-// schedule, per-request cost) off the id.
+// Connection state lives in the SoA arena (conn_slab.h); `Connection` is a
+// 16-byte generation-checked view of one slab row. This header survives as
+// the historical include point for the connection types.
 #pragma once
 
-#include <cstdint>
-
-#include "netsim/four_tuple.h"
-#include "util/types.h"
-
-namespace hermes::netsim {
-
-using ConnId = uint64_t;
-
-enum class ConnState : uint8_t {
-  Queued,       // handshake done, waiting in an accept queue
-  Accepted,     // dequeued by a worker via accept()
-  Closed,
-};
-
-struct Connection {
-  ConnId id = 0;
-  FourTuple tuple{};
-  PortId port = 0;
-  TenantId tenant = 0;
-  ConnState state = ConnState::Queued;
-  WorkerId owner = kInvalidWorker;  // set at accept time
-  SimTime created_at{};
-};
-
-}  // namespace hermes::netsim
+#include "netsim/conn_slab.h"

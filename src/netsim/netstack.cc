@@ -57,9 +57,9 @@ void NetStack::attach_bpf(const bpf::Vm* vm, const bpf::LoadedProgram* prog) {
   }
 }
 
-Connection* NetStack::on_connection_request(const FourTuple& tuple,
-                                            PortId port, TenantId tenant,
-                                            SimTime now) {
+Connection NetStack::on_connection_request(const FourTuple& tuple,
+                                           PortId port, TenantId tenant,
+                                           SimTime now) {
   auto it = ports_.find(port);
   HERMES_CHECK_MSG(it != ports_.end(), "SYN to unbound port");
   PortEntry& entry = it->second;
@@ -79,7 +79,7 @@ Connection* NetStack::on_connection_request(const FourTuple& tuple,
 
 size_t NetStack::on_connection_burst(std::span<const FourTuple> tuples,
                                      PortId port, TenantId tenant, SimTime now,
-                                     Connection** out) {
+                                     Connection* out) {
   auto it = ports_.find(port);
   HERMES_CHECK_MSG(it != ports_.end(), "SYN to unbound port");
   PortEntry& entry = it->second;
@@ -98,42 +98,38 @@ size_t NetStack::on_connection_burst(std::span<const FourTuple> tuples,
       obs_->traces.write(sock->owner(), obs::TraceType::Dispatch, now,
                          sock->owner(), skb_hash(tuples[i]), port);
     }
-    Connection* c = admit(tuples[i], port, tenant, now, sock);
+    const Connection c = admit(tuples[i], port, tenant, now, sock);
     if (out != nullptr) out[i] = c;
-    if (c != nullptr) ++established;
+    if (c) ++established;
   }
   return established;
 }
 
-Connection* NetStack::admit(const FourTuple& tuple, PortId port,
-                            TenantId tenant, SimTime now,
-                            ListeningSocket* sock) {
+Connection NetStack::admit(const FourTuple& tuple, PortId port,
+                           TenantId tenant, SimTime now,
+                           ListeningSocket* sock) {
   // Shared sockets have no owning worker; account those on shard 0.
   const WorkerId shard = sock->owner() == kInvalidWorker ? 0 : sock->owner();
 
-  auto conn = std::make_unique<Connection>();
-  conn->id = next_conn_id_++;
-  conn->tuple = tuple;
-  conn->port = port;
-  conn->tenant = tenant;
-  conn->created_at = now;
-  Connection* raw = conn.get();
-
-  if (!sock->accept_queue().push(raw)) {
+  if (sock->accept_queue().size() >= sock->accept_queue().backlog()) {
+    // Backlog overflow: drop the SYN without ever allocating a slab row.
+    sock->accept_queue().note_drop();
     ++stats_.drops;
     if (obs_ != nullptr) {
       obs_->metrics.accept_dropped->inc(shard);
-      obs_->traces.write(shard, obs::TraceType::Drop, now, port, raw->id,
-                         sock->accept_queue().size());
+      obs_->traces.write(shard, obs::TraceType::Drop, now, port,
+                         next_conn_id_, sock->accept_queue().size());
     }
-    return nullptr;  // SYN dropped: backlog overflow
+    return Connection{};
   }
-  conns_.emplace(raw->id, std::move(conn));
+
+  const Connection c = conns_.create(next_conn_id_++, tuple, port, tenant, now);
+  HERMES_CHECK(sock->accept_queue().push(c));
   ++stats_.connections;
   if (obs_ != nullptr) {
     obs_->metrics.accept_enqueued->inc(shard);
     obs_->metrics.accept_depth->record(shard, sock->accept_queue().size());
-    obs_->traces.write(shard, obs::TraceType::Accept, now, port, raw->id,
+    obs_->traces.write(shard, obs::TraceType::Accept, now, port, c.id(),
                        sock->accept_queue().size());
   }
 
@@ -154,21 +150,20 @@ Connection* NetStack::admit(const FourTuple& tuple, PortId port,
       ++stats_.unnotified;
     }
   }
-  return raw;
-}
-
-Connection* NetStack::accept(ListeningSocket& sock, WorkerId worker) {
-  Connection* c = sock.accept_queue().pop();
-  if (c == nullptr) return nullptr;
-  c->state = ConnState::Accepted;
-  c->owner = worker;
   return c;
 }
 
-void NetStack::close(Connection* c) {
-  HERMES_CHECK(c != nullptr);
-  c->state = ConnState::Closed;
-  conns_.erase(c->id);  // destroys *c
+Connection NetStack::accept(ListeningSocket& sock, WorkerId worker) {
+  const Connection c = sock.accept_queue().pop();
+  if (!c) return c;
+  c.set_state(ConnState::Accepted);
+  c.set_owner(worker);
+  return c;
+}
+
+void NetStack::close(Connection c) {
+  // Generation bump: every outstanding view of this connection goes stale.
+  conns_.destroy(c);
 }
 
 ListeningSocket* NetStack::shared_socket(PortId port) {

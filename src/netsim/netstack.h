@@ -13,7 +13,8 @@
 #include <unordered_map>
 #include <vector>
 
-#include "netsim/connection.h"
+#include "netsim/conn_slab.h"
+
 #include "netsim/listening_socket.h"
 #include "netsim/reuseport.h"
 #include "netsim/wait_queue.h"
@@ -88,25 +89,25 @@ class NetStack {
 
   // --- data path -------------------------------------------------------
   // A SYN arrives (handshake is modeled as instantaneous; the paper's
-  // phenomena live after the handshake). Returns the connection, or nullptr
-  // if the selected socket's backlog was full (drop).
-  Connection* on_connection_request(const FourTuple& tuple, PortId port,
-                                    TenantId tenant, SimTime now);
+  // phenomena live after the handshake). Returns the connection view, or an
+  // invalid view if the selected socket's backlog was full (drop).
+  Connection on_connection_request(const FourTuple& tuple, PortId port,
+                                   TenantId tenant, SimTime now);
 
   // A SYN burst: `tuples.size()` connection requests to one port at one
   // timestamp. Socket selection goes through ReuseportGroup::select_batch,
   // amortizing program/plan and metric-sink resolution across the burst;
   // per-connection admission semantics match on_connection_request exactly.
   // Returns the number established (drops excluded); when `out` is
-  // non-null it receives one entry per SYN, nullptr for drops.
+  // non-null it receives one entry per SYN, an invalid view for drops.
   size_t on_connection_burst(std::span<const FourTuple> tuples, PortId port,
                              TenantId tenant, SimTime now,
-                             Connection** out = nullptr);
+                             Connection* out = nullptr);
 
   // Worker-side accept() on a specific socket.
-  Connection* accept(ListeningSocket& sock, WorkerId worker);
+  Connection accept(ListeningSocket& sock, WorkerId worker);
 
-  void close(Connection* c);
+  void close(Connection c);
 
   // --- introspection ----------------------------------------------------
   ListeningSocket* shared_socket(PortId port);
@@ -124,7 +125,11 @@ class NetStack {
     uint64_t unnotified = 0;        // queued while every waiter was busy
   };
   const Stats& stats() const { return stats_; }
-  uint64_t live_connections() const { return conns_.size(); }
+  uint64_t live_connections() const { return conns_.live(); }
+
+  // The SoA connection arena: fleet-scale scans (imbalance tables, PCC
+  // audits) stream its columns directly instead of walking a map.
+  ConnSlab& conns() { return conns_; }
 
  private:
   struct PortEntry {
@@ -136,14 +141,14 @@ class NetStack {
   // Admission path shared by the scalar and burst entries: everything
   // after socket selection (connection creation, backlog push or drop,
   // accounting, wakeup).
-  Connection* admit(const FourTuple& tuple, PortId port, TenantId tenant,
-                    SimTime now, ListeningSocket* sock);
+  Connection admit(const FourTuple& tuple, PortId port, TenantId tenant,
+                   SimTime now, ListeningSocket* sock);
 
   Config cfg_;
   std::vector<ListeningSocket*> burst_socks_;  // select_batch scratch
   std::unordered_map<PortId, PortEntry> ports_;
   std::vector<PortId> port_order_;
-  std::unordered_map<ConnId, std::unique_ptr<Connection>> conns_;
+  ConnSlab conns_;
   ConnId next_conn_id_ = 1;
   SocketReadyFn socket_ready_;
   const bpf::Vm* pending_vm_ = nullptr;

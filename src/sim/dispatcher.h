@@ -28,7 +28,7 @@ class Dispatcher final : public netsim::Waiter {
   };
 
   // Forward an accepted connection to worker `target`.
-  using ForwardFn = std::function<void(WorkerId, netsim::Connection*)>;
+  using ForwardFn = std::function<void(WorkerId, netsim::Connection)>;
 
   Dispatcher(Config cfg, EventQueue& eq, netsim::NetStack& ns,
              uint32_t num_serving_workers, ForwardFn forward)
@@ -74,8 +74,8 @@ class Dispatcher final : public netsim::Waiter {
     SimTime spent = cfg_.wakeup_cost;
     for (netsim::ListeningSocket* sock : sockets_) {
       while (taken < cfg_.max_batch && !sock->accept_queue().empty()) {
-        netsim::Connection* conn = ns_.accept(*sock, next_worker_);
-        if (conn == nullptr) break;
+        const netsim::Connection conn = ns_.accept(*sock, next_worker_);
+        if (!conn) break;
         pending_.push_back({conn, next_worker_});
         next_worker_ = 1 + (next_worker_ % num_serving_);  // RR over 1..N-1
         ++taken;
@@ -109,7 +109,7 @@ class Dispatcher final : public netsim::Waiter {
   ForwardFn forward_;
 
   std::vector<netsim::ListeningSocket*> sockets_;
-  std::vector<std::pair<netsim::Connection*, WorkerId>> pending_;
+  std::vector<std::pair<netsim::Connection, WorkerId>> pending_;
   State state_ = State::Running;
   EventQueue::Handle timeout_{};
   WorkerId next_worker_ = 1;

@@ -57,7 +57,7 @@ LbDevice::LbDevice(Config cfg)
   }
 
   Worker::Host host;
-  host.on_accepted = [this](Worker& w, netsim::Connection* c) {
+  host.on_accepted = [this](Worker& w, netsim::Connection c) {
     on_accepted(w, c);
   };
   host.on_request_done = [this](Worker& w, const Request& r) {
@@ -84,7 +84,7 @@ LbDevice::LbDevice(Config cfg)
     HERMES_CHECK(cfg_.num_workers >= 2);
     dispatcher_.emplace(
         Dispatcher::Config{}, eq_, ns_, cfg_.num_workers - 1,
-        [this](WorkerId target, netsim::Connection* conn) {
+        [this](WorkerId target, netsim::Connection conn) {
           workers_[target]->adopt_connection(conn);
         });
   } else {
@@ -119,18 +119,23 @@ size_t LbDevice::open_connection_burst(TenantId tenant, const ConnPlan& plan,
     tuple.sport = static_cast<uint16_t>(1024 + rng_.next_below(60000));
     tuple.dport = port_of(tenant);
   }
-  std::vector<netsim::Connection*> accepted(count);
+  return open_tuple_burst(tenant, plan, tuples);
+}
+
+size_t LbDevice::open_tuple_burst(TenantId tenant, const ConnPlan& plan,
+                                  std::span<const netsim::FourTuple> tuples) {
+  burst_views_.resize(tuples.size());
   const size_t established = ns_.on_connection_burst(
-      tuples, port_of(tenant), tenant, eq_.now(), accepted.data());
-  totals_.conns_dropped += count - established;
-  for (netsim::Connection* conn : accepted) {
-    if (conn == nullptr) continue;
+      tuples, port_of(tenant), tenant, eq_.now(), burst_views_.data());
+  totals_.conns_dropped += tuples.size() - established;
+  for (const netsim::Connection conn : burst_views_) {
+    if (!conn) continue;
     ++totals_.conns_opened;
     LiveConn lc;
     lc.conn = conn;
     lc.plan = plan;
     lc.syn_time = eq_.now();
-    conns_.emplace(conn->id, std::move(lc));
+    conns_.emplace(conn.id(), std::move(lc));
   }
   return established;
 }
@@ -145,9 +150,9 @@ netsim::ConnId LbDevice::open_connection_attempt(TenantId tenant,
   tuple.sport = static_cast<uint16_t>(1024 + rng_.next_below(60000));
   tuple.dport = port_of(tenant);
 
-  netsim::Connection* conn =
+  const netsim::Connection conn =
       ns_.on_connection_request(tuple, tuple.dport, tenant, eq_.now());
-  if (conn == nullptr) {
+  if (!conn) {
     ++totals_.conns_dropped;
     if (attempt < cfg_.syn_retries) {
       // TCP-style retransmission with exponential backoff.
@@ -167,7 +172,7 @@ netsim::ConnId LbDevice::open_connection_attempt(TenantId tenant,
   lc.conn = conn;
   lc.plan = std::move(plan);
   lc.syn_time = first_syn;  // latency clock starts at the original SYN
-  const netsim::ConnId id = conn->id;
+  const netsim::ConnId id = conn.id();
   conns_.emplace(id, std::move(lc));
   return id;
 }
@@ -235,13 +240,13 @@ void LbDevice::start_tenant_mix(const TenantModel& tm, double total_cps,
 
 void LbDevice::burst_all_connections(const DistSpec& cost_us, int k) {
   for (auto& [id, lc] : conns_) {
-    if (lc.conn->state != netsim::ConnState::Accepted) continue;
+    if (lc.conn.state() != netsim::ConnState::Accepted) continue;
     lc.plan.remaining += k;
     for (int i = 0; i < k; ++i) {
       Request req = make_request(lc, eq_.now());
       req.cost = SimTime::from_seconds_f(cost_us.sample(rng_) / 1e6);
       ++totals_.requests_generated;
-      workers_[lc.conn->owner]->deliver_request(req);
+      workers_[lc.conn.owner()]->deliver_request(req);
     }
   }
 }
@@ -262,7 +267,7 @@ uint64_t LbDevice::close_fraction(double fraction) {
   if (fraction <= 0) return 0;
   std::vector<netsim::ConnId> victims;
   for (auto& [id, lc] : conns_) {
-    if (lc.conn->state == netsim::ConnState::Accepted &&
+    if (lc.conn.state() == netsim::ConnState::Accepted &&
         rng_.bernoulli(fraction)) {
       victims.push_back(id);
     }
@@ -278,7 +283,8 @@ void LbDevice::run_degradation_sweep() {
     // Collect the hung worker's connections.
     std::vector<uint64_t> ids;
     for (auto& [id, lc] : conns_) {
-      if (lc.conn->owner == w && lc.conn->state == netsim::ConnState::Accepted) {
+      if (lc.conn.owner() == w &&
+          lc.conn.state() == netsim::ConnState::Accepted) {
         ids.push_back(id);
       }
     }
@@ -345,7 +351,7 @@ void LbDevice::start_sampling(SimTime period, SimTime until) {
 Request LbDevice::make_request(LiveConn& lc, SimTime arrival) {
   Request req;
   req.id = next_req_++;
-  req.conn = lc.conn->id;
+  req.conn = lc.conn.id();
   req.tenant = lc.plan.tenant;
   req.arrival = arrival;
   if (lc.plan.poison_fraction > 0 && rng_.bernoulli(lc.plan.poison_fraction)) {
@@ -358,8 +364,8 @@ Request LbDevice::make_request(LiveConn& lc, SimTime arrival) {
   return req;
 }
 
-void LbDevice::on_accepted(Worker& w, netsim::Connection* conn) {
-  auto it = conns_.find(conn->id);
+void LbDevice::on_accepted(Worker& w, netsim::Connection conn) {
+  auto it = conns_.find(conn.id());
   if (it == conns_.end()) return;  // closed while queued (shouldn't happen)
   LiveConn& lc = it->second;
   if (!lc.first_delivered) {
@@ -404,7 +410,7 @@ void LbDevice::on_request_done(Worker& w, const Request& req) {
   lc.plan.remaining -= 1;
   if (lc.plan.remaining <= 0) {
     w.note_conn_closed();
-    netsim::Connection* conn = lc.conn;
+    const netsim::Connection conn = lc.conn;
     conns_.erase(it);
     ns_.close(conn);
     return;
@@ -417,23 +423,22 @@ void LbDevice::on_request_done(Worker& w, const Request& req) {
     auto cit = conns_.find(id);
     if (cit == conns_.end()) return;  // reset by degradation meanwhile
     LiveConn& c = cit->second;
-    if (c.conn->state != netsim::ConnState::Accepted) return;
+    if (c.conn.state() != netsim::ConnState::Accepted) return;
     Request next = make_request(c, eq_.now());
     ++totals_.requests_generated;
-    workers_[c.conn->owner]->deliver_request(next);
+    workers_[c.conn.owner()]->deliver_request(next);
   });
 }
 
 void LbDevice::close_conn(netsim::ConnId id) {
   auto it = conns_.find(id);
   if (it == conns_.end()) return;
-  netsim::Connection* conn = it->second.conn;
-  // Closing a still-queued connection would leave a dangling pointer in
-  // its accept queue; callers only shed Accepted connections.
-  HERMES_CHECK(conn->state == netsim::ConnState::Accepted);
-  if (conn->state == netsim::ConnState::Accepted &&
-      conn->owner != kInvalidWorker) {
-    workers_[conn->owner]->note_conn_closed();
+  const netsim::Connection conn = it->second.conn;
+  // Closing a still-queued connection would leave a stale view in its
+  // accept queue; callers only shed Accepted connections.
+  HERMES_CHECK(conn.state() == netsim::ConnState::Accepted);
+  if (conn.owner() != kInvalidWorker) {
+    workers_[conn.owner()]->note_conn_closed();
   }
   conns_.erase(it);
   ns_.close(conn);

@@ -5,6 +5,7 @@
 
 #include <memory>
 #include <optional>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
@@ -90,6 +91,12 @@ class LbDevice {
   size_t open_connection_burst(TenantId tenant, const ConnPlan& plan,
                                size_t count);
 
+  // Same burst entry but with caller-supplied four-tuples (the fleet front
+  // tier routes by tuple hash, so the tuple the client chose must be the
+  // tuple this device admits). Tuple dports must equal port_of(tenant).
+  size_t open_tuple_burst(TenantId tenant, const ConnPlan& plan,
+                          std::span<const netsim::FourTuple> tuples);
+
   // Build a plan from a TrafficPattern (samples per-conn request count).
   ConnPlan plan_from_pattern(const TrafficPattern& p, TenantId tenant);
 
@@ -171,7 +178,7 @@ class LbDevice {
 
  private:
   struct LiveConn {
-    netsim::Connection* conn = nullptr;
+    netsim::Connection conn{};
     ConnPlan plan;
     SimTime syn_time{};   // ORIGINAL SYN (first attempt)
     bool first_delivered = false;
@@ -183,7 +190,7 @@ class LbDevice {
   PortId port_of(TenantId tenant) const {
     return static_cast<PortId>(cfg_.first_port + tenant % cfg_.num_ports);
   }
-  void on_accepted(Worker& w, netsim::Connection* conn);
+  void on_accepted(Worker& w, netsim::Connection conn);
   void on_request_done(Worker& w, const Request& req);
   void deliver(LiveConn& lc, SimTime arrival, bool first);
   void close_conn(netsim::ConnId id);
@@ -203,6 +210,7 @@ class LbDevice {
 
   static constexpr netsim::ConnId kProbeConnBase = 1ull << 62;
   std::unordered_map<netsim::ConnId, LiveConn> conns_;
+  std::vector<netsim::Connection> burst_views_;  // burst admit scratch
   RequestId next_req_ = 1;
   netsim::ConnId next_probe_id_ = kProbeConnBase;
   uint64_t degradation_salt_ = 0;

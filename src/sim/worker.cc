@@ -47,9 +47,9 @@ void Worker::deliver_request(const Request& req) {
   }
 }
 
-void Worker::adopt_connection(netsim::Connection* conn) {
-  HERMES_DCHECK(conn != nullptr && conn->state == netsim::ConnState::Accepted);
-  conn->owner = cfg_.id;
+void Worker::adopt_connection(netsim::Connection conn) {
+  HERMES_DCHECK(conn.valid() && conn.state() == netsim::ConnState::Accepted);
+  conn.set_owner(cfg_.id);
   ++accepts_done_;
   ++live_conns_;
   if (hooks_) hooks_->on_conn_open();
@@ -148,8 +148,8 @@ void Worker::process_next() {
 void Worker::finish_event(WorkerEvent ev) {
   if (hooks_) hooks_->on_event_processed();
   if (ev.kind == WorkerEvent::Kind::Accept) {
-    netsim::Connection* conn = ns_.accept(*ev.socket, cfg_.id);
-    if (conn != nullptr) {  // may have been drained by a sibling (herd)
+    const netsim::Connection conn = ns_.accept(*ev.socket, cfg_.id);
+    if (conn) {  // may have been drained by a sibling (herd)
       ++accepts_done_;
       ++live_conns_;
       if (hooks_) hooks_->on_conn_open();

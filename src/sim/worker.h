@@ -57,7 +57,7 @@ class Worker final : public netsim::Waiter {
   // Host callbacks (implemented by LbDevice).
   struct Host {
     // A connection was accepted by this worker.
-    std::function<void(Worker&, netsim::Connection*)> on_accepted;
+    std::function<void(Worker&, netsim::Connection)> on_accepted;
     // A request finished processing at `now`.
     std::function<void(Worker&, const Request&)> on_request_done;
   };
@@ -84,7 +84,7 @@ class Worker final : public netsim::Waiter {
 
   // UserDispatcher mode: take ownership of a connection the dispatcher
   // accepted on our behalf (counts as an accept for this worker).
-  void adopt_connection(netsim::Connection* conn);
+  void adopt_connection(netsim::Connection conn);
 
   // Immediate connection close bookkeeping (run from request completion).
   void note_conn_closed();

@@ -52,23 +52,28 @@ TEST(JhashTest, LocalityHashIgnoresSource) {
 // ----------------------------------------------------------- AcceptQueue
 
 TEST(AcceptQueueTest, FifoOrder) {
+  ConnSlab slab;
   AcceptQueue q(4);
-  Connection c1, c2;
-  c1.id = 1;
-  c2.id = 2;
-  EXPECT_TRUE(q.push(&c1));
-  EXPECT_TRUE(q.push(&c2));
-  EXPECT_EQ(q.pop()->id, 1u);
-  EXPECT_EQ(q.pop()->id, 2u);
-  EXPECT_EQ(q.pop(), nullptr);
+  const Connection c1 = slab.create(1, FourTuple{}, 80, 0, SimTime::zero());
+  const Connection c2 = slab.create(2, FourTuple{}, 80, 0, SimTime::zero());
+  EXPECT_TRUE(q.push(c1));
+  EXPECT_TRUE(q.push(c2));
+  EXPECT_EQ(q.pop().id(), 1u);
+  EXPECT_EQ(q.pop().id(), 2u);
+  EXPECT_FALSE(q.pop().valid());
 }
 
 TEST(AcceptQueueTest, BacklogOverflowDrops) {
+  ConnSlab slab;
   AcceptQueue q(2);
   Connection c[3];
-  EXPECT_TRUE(q.push(&c[0]));
-  EXPECT_TRUE(q.push(&c[1]));
-  EXPECT_FALSE(q.push(&c[2]));
+  for (int i = 0; i < 3; ++i) {
+    c[i] = slab.create(static_cast<ConnId>(i + 1), FourTuple{}, 80, 0,
+                       SimTime::zero());
+  }
+  EXPECT_TRUE(q.push(c[0]));
+  EXPECT_TRUE(q.push(c[1]));
+  EXPECT_FALSE(q.push(c[2]));
   EXPECT_EQ(q.dropped(), 1u);
   EXPECT_EQ(q.size(), 2u);
   EXPECT_EQ(q.high_watermark(), 2u);
@@ -233,19 +238,19 @@ TEST(NetStackTest, ExclusiveModeSharedSocketDispatch) {
   ns.register_waiter(&w1);
   ns.register_waiter(&w2);
 
-  Connection* c = ns.on_connection_request(tuple_of(1, 1000, 80), 80, 0,
-                                           SimTime::zero());
-  ASSERT_NE(c, nullptr);
+  const Connection c = ns.on_connection_request(tuple_of(1, 1000, 80), 80, 0,
+                                                SimTime::zero());
+  ASSERT_TRUE(c.valid());
   EXPECT_EQ(w2.woken_on.size(), 1u);  // LIFO favourite
   EXPECT_TRUE(w0.woken_on.empty());
 
   // The woken worker accepts from the shared socket.
   ListeningSocket* shared = ns.shared_socket(80);
   ASSERT_NE(shared, nullptr);
-  Connection* acc = ns.accept(*shared, 2);
+  const Connection acc = ns.accept(*shared, 2);
   EXPECT_EQ(acc, c);
-  EXPECT_EQ(acc->owner, 2u);
-  EXPECT_EQ(acc->state, ConnState::Accepted);
+  EXPECT_EQ(acc.owner(), 2u);
+  EXPECT_EQ(acc.state(), ConnState::Accepted);
 }
 
 TEST(NetStackTest, ExclusiveAllBusyCountsUnnotified) {
@@ -258,9 +263,9 @@ TEST(NetStackTest, ExclusiveAllBusyCountsUnnotified) {
   w0.idle = w1.idle = false;
   ns.register_waiter(&w0);
   ns.register_waiter(&w1);
-  ASSERT_NE(ns.on_connection_request(tuple_of(1, 1, 80), 80, 0,
-                                     SimTime::zero()),
-            nullptr);
+  ASSERT_TRUE(ns.on_connection_request(tuple_of(1, 1, 80), 80, 0,
+                                       SimTime::zero())
+                  .valid());
   EXPECT_EQ(ns.stats().unnotified, 1u);
   // Connection still queued for the next epoll_wait caller.
   EXPECT_EQ(ns.shared_socket(80)->accept_queue().size(), 1u);
@@ -316,14 +321,15 @@ TEST(NetStackTest, CloseReleasesConnection) {
   cfg.num_workers = 1;
   NetStack ns(cfg);
   ns.add_port(80);
-  Connection* c = ns.on_connection_request(tuple_of(1, 1, 80), 80, 0,
-                                           SimTime::zero());
-  ASSERT_NE(c, nullptr);
+  const Connection c = ns.on_connection_request(tuple_of(1, 1, 80), 80, 0,
+                                                SimTime::zero());
+  ASSERT_TRUE(c.valid());
   ListeningSocket* sock = ns.worker_socket(80, 0);
   ASSERT_NE(sock, nullptr);
   EXPECT_EQ(ns.accept(*sock, 0), c);
   ns.close(c);
   EXPECT_EQ(ns.live_connections(), 0u);
+  EXPECT_FALSE(c.valid());  // generation bump invalidated the view
 }
 
 TEST(NetStackTest, SocketsOfWorkerPerMode) {
@@ -363,9 +369,9 @@ TEST(NetStackTest, HermesModeWithoutProgramFallsBackToHash) {
   ns.add_port(80);
   int notified = 0;
   ns.set_socket_ready_fn([&](WorkerId, ListeningSocket&) { ++notified; });
-  ASSERT_NE(ns.on_connection_request(tuple_of(7, 7, 80), 80, 0,
-                                     SimTime::zero()),
-            nullptr);
+  ASSERT_TRUE(ns.on_connection_request(tuple_of(7, 7, 80), 80, 0,
+                                       SimTime::zero())
+                  .valid());
   EXPECT_EQ(notified, 1);
   EXPECT_EQ(ns.group(80)->stats().hash_selections, 1u);
 }

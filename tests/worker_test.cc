@@ -20,7 +20,7 @@ class WorkerHarness {
     ns_->add_port(80);
 
     Worker::Host host;
-    host.on_accepted = [this](Worker&, netsim::Connection*) { ++accepted_; };
+    host.on_accepted = [this](Worker&, netsim::Connection) { ++accepted_; };
     host.on_request_done = [this](Worker&, const Request& r) {
       done_.push_back(r.id);
     };
@@ -93,7 +93,7 @@ TEST(WorkerTest, BusyTimeAccountsForProcessing) {
 TEST(WorkerTest, AcceptsFromOwnSocket) {
   WorkerHarness h(Worker::Config{});
   netsim::FourTuple t{1, 2, 3, 80};
-  ASSERT_NE(h.ns_->on_connection_request(t, 80, 0, h.eq_.now()), nullptr);
+  ASSERT_TRUE(h.ns_->on_connection_request(t, 80, 0, h.eq_.now()).valid());
   h.eq_.run_until(SimTime::millis(5));
   EXPECT_EQ(h.accepted_, 1);
   EXPECT_EQ(h.worker_->live_connections(), 1);
@@ -105,11 +105,11 @@ TEST(WorkerTest, AdoptConnectionBypassesAcceptPath) {
   wc.accepts_enabled = false;
   WorkerHarness h(wc);
   netsim::FourTuple t{1, 2, 3, 80};
-  netsim::Connection* conn =
+  const netsim::Connection conn =
       h.ns_->on_connection_request(t, 80, 0, h.eq_.now());
-  ASSERT_NE(conn, nullptr);
+  ASSERT_TRUE(conn.valid());
   // Simulate the dispatcher's accept + handoff.
-  netsim::Connection* acc =
+  const netsim::Connection acc =
       h.ns_->accept(*h.ns_->worker_socket(80, 0), 0);
   ASSERT_EQ(acc, conn);
   h.worker_->adopt_connection(acc);
