@@ -308,7 +308,13 @@ ObsOverhead measure_obs_overhead() {
         m.bpf_tier_dispatches[1], m.bpf_tier_dispatches[2],
         m.bpf_tier_dispatches[3], m.bpf_fused_ops,
         m.bpf_elided_checks, m.bpf_jit_fallbacks, m.accept_enqueued,
-        m.accept_dropped, m.sched_syncs_suppressed}) {
+        m.accept_dropped, m.sched_syncs_suppressed,
+        // L7 data-plane counters: all zero here (data plane disabled in
+        // this run), included so the accounting stays complete if a
+        // future run enables it.
+        m.http_requests_forwarded, m.http_bytes_zero_copied,
+        m.http_bytes_copied, m.pool_hits, m.pool_misses, m.pool_expiries,
+        m.ratelimit_drops}) {
     r.counter_ops += c->value();
   }
   // sched.fast_path_ns accumulates NANOSECONDS, so its value() is not an

@@ -32,6 +32,7 @@ struct Args {
   double theta = 0.5;
   int64_t sync_us = 0;
   bool metrics = false;
+  bool data_plane = false;
   int trace_dump = 0;
   std::string trace_json;
   bool help = false;
@@ -70,6 +71,7 @@ Args parse(int argc, char** argv) {
     else if (flag == "--theta") a.theta = std::atof(next());
     else if (flag == "--sync-us") a.sync_us = std::atoll(next());
     else if (flag == "--metrics") a.metrics = true;
+    else if (flag == "--data-plane") a.data_plane = true;
     else if (flag == "--trace-dump") a.trace_dump = std::atoi(next());
     else if (flag == "--trace-json") a.trace_json = next();
     else if (flag == "--help" || flag == "-h") a.help = true;
@@ -94,6 +96,9 @@ void usage() {
       "  --theta X      Hermes filter offset theta/Avg (default 0.5)\n"
       "  --sync-us N    min gap between decision syncs, 0 = every loop\n"
       "  --metrics      dump the observability registry after the run\n"
+      "  --data-plane   enable the byte-level L7 data plane (HTTP wire\n"
+      "                 synthesis, keep-alive parsing, zero-copy forward;\n"
+      "                 HERMES_ZEROCOPY=0 switches to the copy oracle)\n"
       "  --trace-dump N print the last N trace-ring events\n"
       "  --trace-json P write chrome://tracing JSON of the trace rings to P");
 }
@@ -118,6 +123,10 @@ int main(int argc, char** argv) {
   cfg.seed = a.seed;
   cfg.hermes.theta_ratio = a.theta;
   cfg.worker.min_sync_interval = SimTime::micros(a.sync_us);
+  if (a.data_plane) {
+    cfg.data_plane.enabled = true;
+    cfg.data_plane.zero_copy = http::zero_copy_enabled_from_env();
+  }
   sim::LbDevice lb(cfg);
 
   const SimTime end = SimTime::from_seconds_f(a.seconds);
@@ -163,6 +172,24 @@ int main(int argc, char** argv) {
                 (unsigned long)lb.hermes()->kernel_bitmap(),
                 (unsigned long)lb.hermes()->counters().schedules,
                 (unsigned long)lb.hermes()->counters().syncs);
+  }
+  if (lb.data_plane() != nullptr) {
+    const sim::DataPlane::Totals& dt = lb.data_plane()->totals();
+    std::printf("data plane : %lu fwd (%s), %lu B zero-copied, %lu B"
+                " copied\n",
+                (unsigned long)dt.requests_forwarded,
+                lb.data_plane()->config().zero_copy ? "zero-copy"
+                                                    : "copy-oracle",
+                (unsigned long)dt.bytes_zero_copied,
+                (unsigned long)dt.bytes_copied);
+    std::printf("backendpool: %lu hits, %lu misses, %lu expiries,"
+                " %lu idle now\n",
+                (unsigned long)dt.pool_hits, (unsigned long)dt.pool_misses,
+                (unsigned long)dt.pool_expiries,
+                (unsigned long)lb.data_plane()->pool().idle_total());
+    std::printf("streams    : backend fnv 0x%016lx, client fnv 0x%016lx\n",
+                (unsigned long)dt.backend_stream_hash,
+                (unsigned long)dt.client_stream_hash);
   }
   if (lb.dispatcher() != nullptr) {
     std::printf("dispatcher : %lu dispatched, core %.0f%% busy\n",

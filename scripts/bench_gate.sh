@@ -21,6 +21,11 @@
 #   fleet_scale       multi-LB fleet at 100k conns (FLEET_SCALE_CONNS):
 #                     gates connection counts, PCC violation counts and
 #                     fleet imbalance; the 1M leg runs nightly in CI
+#   proxy_path        zero-copy L7 forwarding vs the copy oracle; gates
+#                     bytes-memcpy'd/request, stream-match flags,
+#                     allocs/request, and the sim leg's data-plane counts
+#                     (the >=2x speedup check is enforced by the bench
+#                     binary itself, which exits non-zero on miss)
 # Comparison policy (tolerances, wall-clock exclusions) lives in
 # bench/bench_gate_check.cc.
 set -euo pipefail
@@ -29,7 +34,7 @@ cd "$(dirname "$0")/.."
 BUILD_DIR=${BUILD_DIR:-build}
 BASELINE=${BASELINE:-bench/baseline.json}
 GATE_BENCHES=(fig12_unit_cost fig13_load_sd table5_overhead analysis_cost
-              dispatch_path sched_path fleet_scale)
+              dispatch_path sched_path fleet_scale proxy_path)
 
 # The gate runs the fleet bench at smoke scale; deterministic metrics scale
 # with the connection count, so the baseline is only valid at this value.

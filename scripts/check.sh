@@ -45,6 +45,7 @@ run_suite() {
   ctest --test-dir "$dir" --output-on-failure -j "$JOBS" -L "$LABELS"
   run_tier_sweep "$dir"
   run_sched_sweep "$dir"
+  run_zerocopy_sweep "$dir"
 }
 
 # eBPF execution-tier sweep: the suite above ran at the default tier
@@ -89,6 +90,21 @@ run_sched_sweep() {
     echo "==> ctest ${dir} -L sched (HERMES_SCHED_FAST=$path)"
     HERMES_SCHED_FAST=$path \
       ctest --test-dir "$dir" --output-on-failure -j "$JOBS" -L sched
+  done
+}
+
+# L7 data-plane sweep: the suite above ran with the default forwarding
+# mode (HERMES_ZEROCOPY unset = zero-copy). Re-run the http-labeled
+# suites pinned to each mode so the splice-style path and the copying
+# oracle keep identical parse results and bit-identical byte streams.
+# Under an ASan tree the zero-copy leg is also the use-after-free gate
+# for the refcounted iobuf segments that parsed header views borrow from.
+run_zerocopy_sweep() {
+  local dir=$1
+  for zc in 0 1; do
+    echo "==> ctest ${dir} -L http (HERMES_ZEROCOPY=$zc)"
+    HERMES_ZEROCOPY=$zc \
+      ctest --test-dir "$dir" --output-on-failure -j "$JOBS" -L http
   done
 }
 

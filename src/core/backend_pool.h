@@ -6,14 +6,20 @@
 //    backends ("2-3x the traffic of others"). The fix: randomize each
 //    worker's start offset on every list update.
 //
-// 2. SharedConnectionPool — Hermes spreads traffic across workers, which
+// 2. BackendConnectionPool — Hermes spreads traffic across workers, which
 //    fragments per-worker backend connection pools and lowers reuse
 //    (costly TCP/TLS handshakes to on-prem IDCs). The fix: share the pool
-//    across workers. Modeled with per-backend idle-connection counts and
-//    hit/miss accounting; the ablation bench compares per-worker vs shared.
+//    across workers. The pool holds *identified* idle connections per
+//    (partition, backend): bounded per backend, reused LIFO (the warmest
+//    connection first — best TCP cwnd / TLS session state), with cold
+//    connections expired from the FIFO end after an idle timeout. The
+//    data plane (sim::DataPlane) drives the time-aware API; the original
+//    boolean counting API is retained for the ablation bench.
 #pragma once
 
 #include <cstdint>
+#include <deque>
+#include <optional>
 #include <unordered_map>
 #include <vector>
 
@@ -64,32 +70,83 @@ class RoundRobinBackends {
 
 class BackendConnectionPool {
  public:
-  // shared=false: one pool partition per worker (reuse only within the
-  // worker). shared=true: one pool for the whole LB.
-  BackendConnectionPool(uint32_t num_workers, bool shared)
-      : shared_(shared), idle_(shared ? 1 : num_workers) {}
+  struct Config {
+    // shared=false: one pool partition per worker (reuse only within the
+    // worker). shared=true: one pool for the whole LB (the paper's fix).
+    bool shared = true;
+    uint32_t num_workers = 1;
+    // Bound on idle connections kept per (partition, backend); releasing
+    // past the bound evicts the coldest idle connection.
+    uint32_t max_idle_per_backend = 32;
+    // Idle connections older than this are expired (closed) before
+    // reuse is considered. ns()==0 disables expiry.
+    SimTime idle_expiry = SimTime::seconds(30);
+  };
 
-  // A worker needs a backend connection: reuse an idle one if available,
-  // else "establish" a new one (handshake cost charged by the caller).
-  // Returns true on reuse.
-  bool acquire(WorkerId w, BackendId b) {
-    auto& bucket = idle_[partition(w)];
-    auto it = bucket.find(b);
-    if (it != bucket.end() && it->second > 0) {
-      --it->second;
+  // An idle backend connection. `id` identifies the simulated TCP
+  // connection across acquire/release cycles.
+  struct PooledConn {
+    uint64_t id = 0;
+    SimTime idle_since{};
+  };
+
+  explicit BackendConnectionPool(const Config& cfg)
+      : cfg_(cfg), idle_(cfg.shared ? 1 : cfg.num_workers) {}
+
+  // Legacy ablation-bench constructor: unbounded, no expiry.
+  BackendConnectionPool(uint32_t num_workers, bool shared)
+      : BackendConnectionPool(Config{shared, num_workers, UINT32_MAX,
+                                     SimTime{}}) {}
+
+  // A worker needs a backend connection: expire cold idle connections,
+  // then reuse the warmest (LIFO). nullopt → the caller "establishes" a
+  // new connection (handshake cost charged by the caller).
+  std::optional<PooledConn> acquire(WorkerId w, BackendId b, SimTime now) {
+    auto& dq = idle_[partition(w)][b];
+    expire_bucket(dq, now);
+    if (!dq.empty()) {
+      PooledConn c = dq.back();
+      dq.pop_back();
+      --idle_total_;
       ++stats_.hits;
-      return true;
+      return c;
     }
     ++stats_.misses;
-    return false;
+    return std::nullopt;
   }
 
-  // Request done; the backend connection goes idle for reuse.
-  void release(WorkerId w, BackendId b) { ++idle_[partition(w)][b]; }
+  // Request done; the backend connection goes idle for reuse. Pass the
+  // PooledConn id from acquire (or 0 for a newly established one — an
+  // identity is minted).
+  void release(WorkerId w, BackendId b, uint64_t conn_id, SimTime now) {
+    auto& dq = idle_[partition(w)][b];
+    if (dq.size() >= cfg_.max_idle_per_backend) {
+      dq.pop_front();  // evict the coldest
+      ++stats_.evictions;
+      --idle_total_;
+    }
+    dq.push_back(PooledConn{conn_id != 0 ? conn_id : next_id_++, now});
+    ++idle_total_;
+  }
+
+  // Legacy counting API (no clock): reuse-or-miss accounting only.
+  bool acquire(WorkerId w, BackendId b) {
+    return acquire(w, b, SimTime{}).has_value();
+  }
+  void release(WorkerId w, BackendId b) { release(w, b, 0, SimTime{}); }
+
+  // Proactively expires idle connections across all partitions.
+  void expire_idle(SimTime now) {
+    for (auto& part : idle_) {
+      for (auto& [b, dq] : part) expire_bucket(dq, now);
+    }
+  }
 
   struct Stats {
     uint64_t hits = 0;
     uint64_t misses = 0;  // == new handshakes
+    uint64_t expiries = 0;
+    uint64_t evictions = 0;
     double hit_rate() const {
       const uint64_t total = hits + misses;
       return total ? static_cast<double>(hits) / static_cast<double>(total) : 0;
@@ -97,11 +154,27 @@ class BackendConnectionPool {
   };
   const Stats& stats() const { return stats_; }
 
- private:
-  size_t partition(WorkerId w) const { return shared_ ? 0 : w; }
+  // Current idle connections across the pool (the occupancy gauge).
+  uint64_t idle_total() const { return idle_total_; }
+  const Config& config() const { return cfg_; }
 
-  bool shared_;
-  std::vector<std::unordered_map<BackendId, uint32_t>> idle_;
+ private:
+  size_t partition(WorkerId w) const { return cfg_.shared ? 0 : w; }
+
+  void expire_bucket(std::deque<PooledConn>& dq, SimTime now) {
+    if (cfg_.idle_expiry.ns() <= 0) return;
+    while (!dq.empty() &&
+           now.ns() - dq.front().idle_since.ns() >= cfg_.idle_expiry.ns()) {
+      dq.pop_front();
+      ++stats_.expiries;
+      --idle_total_;
+    }
+  }
+
+  Config cfg_;
+  std::vector<std::unordered_map<BackendId, std::deque<PooledConn>>> idle_;
+  uint64_t next_id_ = 1;
+  uint64_t idle_total_ = 0;
   Stats stats_;
 };
 

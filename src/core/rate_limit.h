@@ -1,0 +1,129 @@
+// Per-client token-bucket rate limiting at LB admission.
+//
+// Every public L7 LB fronts abusive clients; the paper's deployments
+// (§7) put connection admission control ahead of the worker pool. We
+// model the standard shape: one token bucket per client (keyed by
+// source address), refilled continuously, charged one token per new
+// connection. Arithmetic is integer fixed-point (milli-tokens) driven
+// by the simulated clock, so admission decisions are bit-reproducible
+// across runs and platforms — no floating point on the admission path.
+//
+// The bucket table is a fixed-size hash table with no chaining and no
+// allocation after construction: distinct clients that collide share a
+// bucket (slightly stricter than exact per-client limiting, never
+// looser for the colliding set as a whole). Real LBs make the same
+// bounded-memory trade (e.g. nginx's limit_req zones).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/check.h"
+#include "util/types.h"
+
+namespace hermes::core {
+
+// One token bucket, integer milli-tokens.
+class TokenBucket {
+ public:
+  // rate: tokens/second; burst: bucket capacity in tokens.
+  TokenBucket(uint64_t rate_per_sec, uint64_t burst)
+      : rate_milli_per_sec_(rate_per_sec * 1000),
+        cap_milli_(burst * 1000),
+        tokens_milli_(burst * 1000) {}
+
+  // Charges `cost` tokens at time `now`; true = admitted.
+  bool admit(SimTime now, uint64_t cost = 1) {
+    refill(now);
+    const uint64_t cost_milli = cost * 1000;
+    if (tokens_milli_ < cost_milli) return false;
+    tokens_milli_ -= cost_milli;
+    return true;
+  }
+
+  uint64_t tokens_milli(SimTime now) {
+    refill(now);
+    return tokens_milli_;
+  }
+
+ private:
+  void refill(SimTime now) {
+    if (now.ns() <= last_.ns()) return;
+    const uint64_t dt_ns = static_cast<uint64_t>(now.ns() - last_.ns());
+    // milli-tokens = dt_ns * rate_milli / 1e9, in 128-bit to avoid
+    // overflow for long gaps at high rates.
+    const uint64_t add = static_cast<uint64_t>(
+        (static_cast<unsigned __int128>(dt_ns) * rate_milli_per_sec_) /
+        1000000000u);
+    if (add == 0) return;  // keep last_ so sub-grain gaps accumulate
+    tokens_milli_ = add >= cap_milli_ - tokens_milli_ ? cap_milli_
+                                                      : tokens_milli_ + add;
+    last_ = now;
+  }
+
+  uint64_t rate_milli_per_sec_;
+  uint64_t cap_milli_;
+  uint64_t tokens_milli_;
+  SimTime last_{};
+};
+
+// Fixed-size table of token buckets keyed by client address hash.
+class ClientRateLimiter {
+ public:
+  struct Config {
+    // Tokens (new connections) per second per client bucket. 0 disables
+    // the limiter entirely (admit everything).
+    uint64_t rate_per_sec = 0;
+    // Bucket capacity: how large a burst a quiet client may spend.
+    uint64_t burst = 32;
+    // Number of buckets (rounded up to a power of two). Colliding
+    // clients share a bucket.
+    uint32_t buckets = 4096;
+  };
+
+  explicit ClientRateLimiter(const Config& cfg) : cfg_(cfg) {
+    uint32_t n = 1;
+    while (n < cfg.buckets) n <<= 1;
+    mask_ = n - 1;
+    if (enabled()) {
+      buckets_.reserve(n);
+      for (uint32_t i = 0; i < n; ++i) {
+        buckets_.emplace_back(cfg.rate_per_sec, cfg.burst);
+      }
+    }
+  }
+
+  bool enabled() const { return cfg_.rate_per_sec > 0; }
+
+  // Admission check for a new connection from `client` (e.g. saddr).
+  bool admit(uint32_t client, SimTime now) {
+    if (!enabled()) return true;
+    if (!buckets_[index(client)].admit(now)) {
+      ++drops_;
+      return false;
+    }
+    ++admits_;
+    return true;
+  }
+
+  uint64_t admits() const { return admits_; }
+  uint64_t drops() const { return drops_; }
+  const Config& config() const { return cfg_; }
+
+ private:
+  uint32_t index(uint32_t client) const {
+    // splitmix-style avalanche so adjacent addresses spread.
+    uint64_t z = client + 0x9e3779b97f4a7c15ull;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return static_cast<uint32_t>(z ^ (z >> 31)) & mask_;
+  }
+
+  Config cfg_;
+  uint32_t mask_ = 0;
+  std::vector<TokenBucket> buckets_;
+  uint64_t admits_ = 0;
+  uint64_t drops_ = 0;
+};
+
+}  // namespace hermes::core

@@ -65,7 +65,7 @@ inline std::optional<ParsedResponse> parse_response(std::string_view wire) {
     while (!value.empty() && (value.front() == ' ' || value.front() == '\t')) {
       value.remove_prefix(1);
     }
-    out.headers.add(std::string{line.substr(0, colon)}, std::string{value});
+    out.headers.add(line.substr(0, colon), value);
     pos = eol + 2;
   }
 

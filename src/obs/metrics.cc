@@ -229,6 +229,14 @@ PipelineMetrics::PipelineMetrics(Registry& reg, uint32_t workers)
       bpf_validate_rejects(&reg.counter("bpf.validate_rejects", 1)),
       accept_enqueued(&reg.counter("accept.enqueued", workers)),
       accept_dropped(&reg.counter("accept.dropped", workers)),
-      accept_depth(&reg.histogram("accept.depth", workers, 2)) {}
+      accept_depth(&reg.histogram("accept.depth", workers, 2)),
+      http_requests_forwarded(&reg.counter("http.requests_forwarded", workers)),
+      http_bytes_zero_copied(&reg.counter("http.bytes_zero_copied", workers)),
+      http_bytes_copied(&reg.counter("http.bytes_copied", workers)),
+      pool_hits(&reg.counter("pool.hits", workers)),
+      pool_misses(&reg.counter("pool.misses", workers)),
+      pool_expiries(&reg.counter("pool.expiries", workers)),
+      ratelimit_drops(&reg.counter("ratelimit.drops", 1)),
+      pool_occupancy(&reg.gauge("pool.occupancy")) {}
 
 }  // namespace hermes::obs

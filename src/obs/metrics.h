@@ -234,6 +234,18 @@ struct PipelineMetrics {
   Counter* accept_enqueued;     // sharded by owning worker
   Counter* accept_dropped;      // backlog overflow, by owning worker
   LogHistogram* accept_depth;   // queue depth observed at enqueue
+
+  // L7 data plane (sim/data_plane.h): byte-level forwarding, backend
+  // connection pool, and admission rate limiting. All zero when the
+  // data plane is disabled.
+  Counter* http_requests_forwarded;  // proxied to a backend, by worker
+  Counter* http_bytes_zero_copied;   // forwarded by reference (splice)
+  Counter* http_bytes_copied;        // forwarded by memcpy (oracle mode)
+  Counter* pool_hits;                // backend connection reused
+  Counter* pool_misses;              // new backend handshake
+  Counter* pool_expiries;            // idle connection timed out
+  Counter* ratelimit_drops;          // connections refused at admission
+  Gauge* pool_occupancy;             // idle backend connections now
 };
 
 }  // namespace hermes::obs

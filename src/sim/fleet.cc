@@ -199,4 +199,29 @@ uint64_t Fleet::total_dropped() const {
   return sum;
 }
 
+DataPlane::Totals Fleet::data_plane_totals() const {
+  DataPlane::Totals t;
+  t.backend_stream_hash = 0;
+  t.client_stream_hash = 0;
+  for (const auto& d : devices_) {
+    const DataPlane* dp = d->data_plane();
+    if (dp == nullptr) continue;
+    const DataPlane::Totals& s = dp->totals();
+    t.requests_forwarded += s.requests_forwarded;
+    t.responses_returned += s.responses_returned;
+    t.bytes_in += s.bytes_in;
+    t.bytes_out += s.bytes_out;
+    t.bytes_zero_copied += s.bytes_zero_copied;
+    t.bytes_copied += s.bytes_copied;
+    t.pool_hits += s.pool_hits;
+    t.pool_misses += s.pool_misses;
+    t.pool_expiries += s.pool_expiries;
+    t.pool_evictions += s.pool_evictions;
+    t.parse_errors += s.parse_errors;
+    t.backend_stream_hash ^= s.backend_stream_hash;
+    t.client_stream_hash ^= s.client_stream_hash;
+  }
+  return t;
+}
+
 }  // namespace hermes::sim

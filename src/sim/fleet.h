@@ -147,6 +147,11 @@ class Fleet {
   uint64_t total_opened() const;
   uint64_t total_dropped() const;
 
+  // Aggregated L7 data-plane totals across all devices (zero when the
+  // fleet's device config leaves the data plane off). Per-device stream
+  // hashes are combined by XOR into a fleet-level identity.
+  DataPlane::Totals data_plane_totals() const;
+
  private:
   size_t index_of_id(uint32_t id) const;  // device index for a backend id
   void rebuild_tables();

@@ -27,6 +27,11 @@ LbDevice::LbDevice(Config cfg)
                                                  cfg_.num_workers, 3);
     ns_.set_obs(obs_.get());
   }
+  if (cfg_.data_plane.enabled) {
+    dp_ = std::make_unique<DataPlane>(cfg_.data_plane, cfg_.num_workers,
+                                      obs_.get());
+  }
+  if (cfg_.rate_limit.rate_per_sec > 0) limiter_.emplace(cfg_.rate_limit);
   // Ports first (sockets exist before workers attach).
   for (uint32_t p = 0; p < cfg_.num_ports; ++p) {
     ns_.add_port(static_cast<PortId>(cfg_.first_port + p));
@@ -124,6 +129,21 @@ size_t LbDevice::open_connection_burst(TenantId tenant, const ConnPlan& plan,
 
 size_t LbDevice::open_tuple_burst(TenantId tenant, const ConnPlan& plan,
                                   std::span<const netsim::FourTuple> tuples) {
+  // Admission control: rate-limited SYNs never reach the netstack (and
+  // are not counted as backlog drops — they are policy refusals).
+  std::vector<netsim::FourTuple> admitted_storage;
+  if (limiter_) {
+    admitted_storage.reserve(tuples.size());
+    for (const netsim::FourTuple& t : tuples) {
+      if (limiter_->admit(t.saddr, eq_.now())) {
+        admitted_storage.push_back(t);
+      } else {
+        ++totals_.rate_limited;
+        if (obs_) obs_->metrics.ratelimit_drops->inc(0);
+      }
+    }
+    tuples = admitted_storage;
+  }
   burst_views_.resize(tuples.size());
   const size_t established = ns_.on_connection_burst(
       tuples, port_of(tenant), tenant, eq_.now(), burst_views_.data());
@@ -149,6 +169,14 @@ netsim::ConnId LbDevice::open_connection_attempt(TenantId tenant,
   tuple.daddr = 0x0a000001;
   tuple.sport = static_cast<uint16_t>(1024 + rng_.next_below(60000));
   tuple.dport = port_of(tenant);
+
+  if (limiter_ && !limiter_->admit(tuple.saddr, eq_.now())) {
+    // Policy refusal at admission: no backlog drop, no SYN retry (the
+    // client sees an RST, not a timeout).
+    ++totals_.rate_limited;
+    if (obs_) obs_->metrics.ratelimit_drops->inc(0);
+    return 0;
+  }
 
   const netsim::Connection conn =
       ns_.on_connection_request(tuple, tuple.dport, tenant, eq_.now());
@@ -361,6 +389,13 @@ Request LbDevice::make_request(LiveConn& lc, SimTime arrival) {
     req.cost = SimTime::from_seconds_f(lc.plan.cost_us.sample(rng_) / 1e6);
   }
   req.bytes = static_cast<uint64_t>(lc.plan.bytes.sample(rng_));
+  if (dp_) {
+    // Byte-level proxy path: synthesize + parse + forward the request's
+    // actual wire bytes; a backend-pool miss charges the handshake.
+    const bool last_on_conn = lc.plan.remaining <= 1;
+    req.cost = req.cost + dp_->on_request(lc.conn.owner(), req, last_on_conn,
+                                          eq_.now());
+  }
   return req;
 }
 
@@ -407,10 +442,12 @@ void LbDevice::on_request_done(Worker& w, const Request& req) {
     if (latency > SimTime::millis(200)) ++delayed_probes_;
     if (probe_done_) probe_done_(req.conn, latency);
   }
+  if (dp_) dp_->on_response(w.id(), req, eq_.now());
   lc.plan.remaining -= 1;
   if (lc.plan.remaining <= 0) {
     w.note_conn_closed();
     const netsim::Connection conn = lc.conn;
+    if (dp_) dp_->on_conn_close(req.conn);
     conns_.erase(it);
     ns_.close(conn);
     return;
@@ -440,6 +477,7 @@ void LbDevice::close_conn(netsim::ConnId id) {
   if (conn.owner() != kInvalidWorker) {
     workers_[conn.owner()]->note_conn_closed();
   }
+  if (dp_) dp_->on_conn_close(id);
   conns_.erase(it);
   ns_.close(conn);
 }

@@ -11,7 +11,9 @@
 
 #include "core/degradation.h"
 #include "core/hermes.h"
+#include "core/rate_limit.h"
 #include "netsim/netstack.h"
+#include "sim/data_plane.h"
 #include "obs/observability.h"
 #include "simcore/event_queue.h"
 #include "simcore/histogram.h"
@@ -48,6 +50,11 @@ class LbDevice {
     // the instrumentation is cheap enough to leave on.
     bool observability = true;
     size_t trace_ring_capacity = 4096;
+    // L7 byte-level data plane (sim/data_plane.h). Off by default: the
+    // abstract cost-model path stays byte-identical for existing benches.
+    DataPlane::Config data_plane{};
+    // Per-client token-bucket admission control; rate_per_sec==0 disables.
+    core::ClientRateLimiter::Config rate_limit{};
   };
 
   explicit LbDevice(Config cfg);
@@ -62,6 +69,12 @@ class LbDevice {
   Dispatcher* dispatcher() { return dispatcher_ ? &*dispatcher_ : nullptr; }
   Worker& worker(WorkerId w) { return *workers_[w]; }
   uint32_t num_workers() const { return cfg_.num_workers; }
+  // The byte-level L7 data plane (null when Config::data_plane.enabled off).
+  DataPlane* data_plane() { return dp_.get(); }
+  const DataPlane* data_plane() const { return dp_.get(); }
+  core::ClientRateLimiter* rate_limiter() {
+    return limiter_ ? &*limiter_ : nullptr;
+  }
 
   // ---- workload interface ----------------------------------------------
   // Per-connection request plan, sampled lazily as requests complete.
@@ -136,6 +149,7 @@ class LbDevice {
     uint64_t requests_generated = 0;
     uint64_t degradation_resets = 0;
     uint64_t syn_retransmits = 0;
+    uint64_t rate_limited = 0;  // refused at admission (not backlog drops)
   };
   const Totals& totals() const { return totals_; }
   // Probe completion callback (set by Prober): (conn id, latency).
@@ -204,6 +218,8 @@ class LbDevice {
   netsim::NetStack ns_;
   std::optional<core::HermesRuntime> hermes_;
   std::optional<core::DegradationPolicy> degradation_;
+  std::unique_ptr<DataPlane> dp_;
+  std::optional<core::ClientRateLimiter> limiter_;
   std::optional<Dispatcher> dispatcher_;
   std::vector<core::PortAttachment> attachments_;
   std::vector<std::unique_ptr<Worker>> workers_;

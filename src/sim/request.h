@@ -7,6 +7,10 @@
 #include "netsim/connection.h"
 #include "util/types.h"
 
+namespace hermes::netsim {
+class ListeningSocket;  // netsim/netstack.h
+}
+
 namespace hermes::sim {
 
 using RequestId = uint64_t;

@@ -117,5 +117,91 @@ TEST(PoolTest, HermesSpreadFragmentsPerWorkerPools) {
   EXPECT_GT(shared_rate, per_worker_rate);
 }
 
+// ---- time-aware pool (LIFO-warm reuse, idle expiry, eviction bound) ------
+
+TEST(PoolTest, LifoReturnsWarmestConnectionFirst) {
+  BackendConnectionPool::Config cfg;
+  cfg.shared = true;
+  BackendConnectionPool pool(cfg);
+  pool.release(0, 1, /*conn_id=*/101, SimTime::millis(1));
+  pool.release(0, 1, /*conn_id=*/102, SimTime::millis(2));
+  pool.release(0, 1, /*conn_id=*/103, SimTime::millis(3));
+
+  // Warmest (most recently idled) first: best cwnd / TLS session state.
+  EXPECT_EQ(pool.acquire(0, 1, SimTime::millis(4))->id, 103u);
+  EXPECT_EQ(pool.acquire(0, 1, SimTime::millis(4))->id, 102u);
+  EXPECT_EQ(pool.acquire(0, 1, SimTime::millis(4))->id, 101u);
+  EXPECT_FALSE(pool.acquire(0, 1, SimTime::millis(4)).has_value());
+}
+
+TEST(PoolTest, IdleConnectionsExpireFromColdEnd) {
+  BackendConnectionPool::Config cfg;
+  cfg.idle_expiry = SimTime::millis(10);
+  BackendConnectionPool pool(cfg);
+  pool.release(0, 1, 201, SimTime::millis(0));   // cold
+  pool.release(0, 1, 202, SimTime::millis(8));   // warm
+
+  // At t=12ms only the t=0 connection has idled past 10ms.
+  const auto got = pool.acquire(0, 1, SimTime::millis(12));
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->id, 202u);
+  EXPECT_EQ(pool.stats().expiries, 1u);
+  // The expired one is gone, not acquirable.
+  EXPECT_FALSE(pool.acquire(0, 1, SimTime::millis(12)).has_value());
+}
+
+TEST(PoolTest, ExpireIdleSweepsAllPartitions) {
+  BackendConnectionPool::Config cfg;
+  cfg.shared = false;
+  cfg.num_workers = 4;
+  cfg.idle_expiry = SimTime::millis(5);
+  BackendConnectionPool pool(cfg);
+  for (WorkerId w = 0; w < 4; ++w) pool.release(w, 7, 0, SimTime::zero());
+  EXPECT_EQ(pool.idle_total(), 4u);
+  pool.expire_idle(SimTime::millis(6));
+  EXPECT_EQ(pool.idle_total(), 0u);
+  EXPECT_EQ(pool.stats().expiries, 4u);
+}
+
+TEST(PoolTest, MaxIdleBoundEvictsColdest) {
+  BackendConnectionPool::Config cfg;
+  cfg.max_idle_per_backend = 2;
+  BackendConnectionPool pool(cfg);
+  pool.release(0, 1, 301, SimTime::millis(1));
+  pool.release(0, 1, 302, SimTime::millis(2));
+  pool.release(0, 1, 303, SimTime::millis(3));  // bound hit: 301 evicted
+  EXPECT_EQ(pool.stats().evictions, 1u);
+  EXPECT_EQ(pool.idle_total(), 2u);
+  EXPECT_EQ(pool.acquire(0, 1, SimTime::millis(4))->id, 303u);
+  EXPECT_EQ(pool.acquire(0, 1, SimTime::millis(4))->id, 302u);
+  EXPECT_FALSE(pool.acquire(0, 1, SimTime::millis(4)).has_value());
+}
+
+TEST(PoolTest, MintedIdentitySurvivesReuseCycles) {
+  BackendConnectionPool pool(BackendConnectionPool::Config{});
+  // A freshly established connection (id 0) gets a minted identity...
+  pool.release(0, 1, 0, SimTime::zero());
+  const auto first = pool.acquire(0, 1, SimTime::millis(1));
+  ASSERT_TRUE(first.has_value());
+  EXPECT_NE(first->id, 0u);
+  // ...which is preserved across release/acquire cycles.
+  pool.release(0, 1, first->id, SimTime::millis(2));
+  const auto again = pool.acquire(0, 1, SimTime::millis(3));
+  ASSERT_TRUE(again.has_value());
+  EXPECT_EQ(again->id, first->id);
+}
+
+TEST(PoolTest, ZeroExpiryDisablesAging) {
+  BackendConnectionPool::Config cfg;
+  cfg.idle_expiry = SimTime{};  // disabled
+  BackendConnectionPool pool(cfg);
+  pool.release(0, 1, 401, SimTime::zero());
+  // Even after an hour, the connection is still reusable.
+  const auto got = pool.acquire(0, 1, SimTime::seconds(3600));
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->id, 401u);
+  EXPECT_EQ(pool.stats().expiries, 0u);
+}
+
 }  // namespace
 }  // namespace hermes::core

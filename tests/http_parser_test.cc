@@ -193,6 +193,124 @@ TEST(ParserErrorTest, BadChunkSize) {
   EXPECT_TRUE(p.failed());
 }
 
+TEST(ParserTest, TrailersAreCaptured) {
+  const auto req = parse_all(
+      "POST /up HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"
+      "3\r\nabc\r\n0\r\nX-Checksum: deadbeef\r\nX-Count: 1\r\n\r\n");
+  EXPECT_EQ(req.body, "abc");
+  EXPECT_EQ(req.trailers.size(), 2u);
+  EXPECT_EQ(*req.trailers.get("x-checksum"), "deadbeef");
+  EXPECT_EQ(*req.trailers.get("X-COUNT"), "1");
+  // Trailers never masquerade as headers.
+  EXPECT_FALSE(req.headers.get("x-checksum").has_value());
+}
+
+TEST(ParserTest, ChunkExtensionWithSpaceBeforeSemicolon) {
+  const auto req = parse_all(
+      "POST /up HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"
+      "4 ;padded=yes\r\nwxyz\r\n0\r\n\r\n");
+  EXPECT_EQ(req.body, "wxyz");
+}
+
+TEST(ParserTest, IdenticalDuplicateContentLengthAccepted) {
+  // RFC 9110 §8.6: identical repeated values may be coalesced.
+  const auto req = parse_all(
+      "POST / HTTP/1.1\r\nContent-Length: 3\r\nContent-Length: 3\r\n\r\n"
+      "abc");
+  EXPECT_EQ(req.body, "abc");
+  const auto req2 = parse_all(
+      "POST / HTTP/1.1\r\nContent-Length: 3, 3\r\n\r\nabc");
+  EXPECT_EQ(req2.body, "abc");
+}
+
+TEST(ParserErrorTest, ConflictingContentLengthRejected) {
+  // Different values in repeated headers or a comma list: the classic
+  // request-smuggling vector. Hard error, never "pick one".
+  for (const char* bad :
+       {"POST / HTTP/1.1\r\nContent-Length: 3\r\nContent-Length: 4\r\n\r\n",
+        "POST / HTTP/1.1\r\nContent-Length: 3, 4\r\n\r\n"}) {
+    RequestParser p;
+    p.feed(bad);
+    EXPECT_TRUE(p.failed()) << bad;
+    EXPECT_STREQ(p.error().data(), "conflicting content-length") << bad;
+  }
+}
+
+TEST(ParserErrorTest, ContentLengthWithTransferEncodingRejected) {
+  RequestParser p;
+  p.feed(
+      "POST / HTTP/1.1\r\nContent-Length: 5\r\n"
+      "Transfer-Encoding: chunked\r\n\r\n");
+  EXPECT_TRUE(p.failed());
+  EXPECT_STREQ(p.error().data(), "content-length with transfer-encoding");
+}
+
+TEST(ParserErrorTest, UnsupportedTransferEncodingRejected) {
+  RequestParser p;
+  p.feed("POST / HTTP/1.1\r\nTransfer-Encoding: gzip\r\n\r\n");
+  EXPECT_TRUE(p.failed());
+
+  // chunked must be the FINAL coding; "chunked, gzip" would leave the
+  // message un-frameable by the chunked de-framer.
+  RequestParser q;
+  q.feed("POST / HTTP/1.1\r\nTransfer-Encoding: chunked, gzip\r\n\r\n");
+  EXPECT_TRUE(q.failed());
+}
+
+TEST(ParserErrorTest, ChunkSizeWithLeadingWhitespaceRejected) {
+  RequestParser p;
+  p.feed("POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n 4\r\n");
+  EXPECT_TRUE(p.failed());
+}
+
+TEST(ParserTest, BorrowModeViewsPointIntoCallerBuffer) {
+  // stable=true + unfragmented lines: target and header views must alias
+  // the fed buffer (zero copies), not parser-owned storage.
+  const std::string wire = "GET /zc?a=1 HTTP/1.1\r\nHost: zc.example\r\n\r\n";
+  RequestParser p;
+  EXPECT_EQ(p.feed(wire, /*stable=*/true), wire.size());
+  ASSERT_TRUE(p.has_request());
+  const auto req = p.take();
+  const char* lo = wire.data();
+  const char* hi = wire.data() + wire.size();
+  EXPECT_TRUE(req.target.data() >= lo && req.target.data() < hi);
+  ASSERT_TRUE(req.host().has_value());
+  EXPECT_TRUE(req.host()->data() >= lo && req.host()->data() < hi);
+  EXPECT_EQ(req.headers.arena_blocks(), 0u);  // nothing copied
+}
+
+TEST(ParserTest, BodyCaptureOffStillFramesAndCounts) {
+  const std::string wire =
+      "POST /big HTTP/1.1\r\nContent-Length: 10\r\n\r\n0123456789";
+  RequestParser p;
+  p.set_body_capture(false);
+  EXPECT_EQ(p.feed(wire), wire.size());
+  ASSERT_TRUE(p.has_request());
+  EXPECT_EQ(p.body_bytes(), 10u);
+  const auto req = p.take();
+  EXPECT_TRUE(req.body.empty());
+  EXPECT_EQ(req.wire_size, wire.size());
+}
+
+TEST(ParserTest, HeaderMapArenaReuse) {
+  // Many headers: inline entries spill, arena grows in blocks, and every
+  // stored view stays valid (stable addresses) after the map moves.
+  std::string wire = "GET / HTTP/1.1\r\n";
+  for (int i = 0; i < 40; ++i) {
+    wire += "X-Header-" + std::to_string(i) + ": value-" +
+            std::to_string(i) + "\r\n";
+  }
+  wire += "\r\n";
+  auto req = parse_all(wire);
+  EXPECT_EQ(req.headers.size(), 40u);
+  Request moved = std::move(req);
+  for (int i = 0; i < 40; ++i) {
+    const auto v = moved.headers.get("x-header-" + std::to_string(i));
+    ASSERT_TRUE(v.has_value()) << i;
+    EXPECT_EQ(*v, "value-" + std::to_string(i));
+  }
+}
+
 TEST(ParserTest, TakeResetsForReuse) {
   RequestParser p;
   p.feed("GET /a HTTP/1.1\r\n\r\n");

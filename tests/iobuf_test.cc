@@ -1,0 +1,137 @@
+// Ref-counted segment/chain buffer (netsim/iobuf.h): refcount lifecycle,
+// zero-copy vs copying appends, consume/copy_out, and the writable-tail
+// rule that keeps shared bytes immutable.
+#include "netsim/iobuf.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace hermes::netsim {
+namespace {
+
+TEST(IoSegment, AllocAppendAndRefCounting) {
+  const uint64_t live_before = iobuf_stats().segments_live();
+  {
+    SegRef seg = IoSegment::alloc(64);
+    EXPECT_EQ(seg->capacity(), 64u);
+    EXPECT_EQ(seg->size(), 0u);
+    EXPECT_EQ(seg->refs(), 1u);
+    EXPECT_EQ(seg->append("hello", 5), 5u);
+    EXPECT_EQ(seg->size(), 5u);
+
+    SegRef other = seg;  // copy retains
+    EXPECT_EQ(seg->refs(), 2u);
+    other.reset();
+    EXPECT_EQ(seg->refs(), 1u);
+    EXPECT_EQ(iobuf_stats().segments_live(), live_before + 1);
+  }
+  EXPECT_EQ(iobuf_stats().segments_live(), live_before);
+}
+
+TEST(IoSegment, AppendStopsAtCapacity) {
+  SegRef seg = IoSegment::alloc(4);
+  EXPECT_EQ(seg->append("abcdef", 6), 4u);
+  EXPECT_EQ(seg->avail(), 0u);
+  EXPECT_EQ(std::string(seg->data(), seg->size()), "abcd");
+}
+
+TEST(IoChain, AppendCopyAndToString) {
+  IoChain c;
+  c.append_copy(std::string_view{"hello "});
+  c.append_copy(std::string_view{"world"});
+  EXPECT_EQ(c.size(), 11u);
+  EXPECT_EQ(c.to_string(), "hello world");
+  // Contiguous copies into the same writable tail stay one slice.
+  EXPECT_EQ(c.num_slices(), 1u);
+}
+
+TEST(IoChain, AppendRefSharesBytesWithoutCopy) {
+  SegRef seg = IoSegment::alloc(64);
+  seg->append("abcdefgh", 8);
+
+  const uint64_t copied_before = iobuf_stats().bytes_copied;
+  IoChain a;
+  a.append_ref(seg, 0, 4);
+  a.append_ref(seg, 4, 4);  // contiguous: coalesces
+  EXPECT_EQ(a.num_slices(), 1u);
+  EXPECT_EQ(a.to_string().substr(0, 8), "abcdefgh");
+  EXPECT_EQ(iobuf_stats().bytes_copied, copied_before);  // no memcpy
+  EXPECT_EQ(seg->refs(), 2u);  // seg + the chain's coalesced slice
+}
+
+TEST(IoChain, RefAppendKeepsSegmentAliveAfterSourceDrops) {
+  IoChain dst;
+  {
+    SegRef seg = IoSegment::alloc(16);
+    seg->append("payload", 7);
+    dst.append_ref(seg, 0, 7);
+  }  // source handle gone; chain still owns the bytes
+  EXPECT_EQ(dst.to_string(), "payload");
+}
+
+TEST(IoChain, SharedTailIsNotWritable) {
+  // Writing into a segment another chain can see would corrupt shared
+  // bytes; append_copy must allocate a fresh segment instead.
+  IoChain a;
+  a.append_copy(std::string_view{"aaaa"});
+  IoChain b;
+  b.append_ref(a.slices()[0]);
+  a.append_copy(std::string_view{"bbbb"});  // tail shared with b → new seg
+  EXPECT_EQ(a.to_string(), "aaaabbbb");
+  EXPECT_EQ(b.to_string(), "aaaa");  // b unchanged
+  EXPECT_EQ(a.num_slices(), 2u);
+}
+
+TEST(IoChain, ConsumeAdvancesAcrossSlices) {
+  IoChain c;
+  SegRef s1 = IoSegment::alloc(8);
+  s1->append("0123", 4);
+  SegRef s2 = IoSegment::alloc(8);
+  s2->append("4567", 4);
+  c.append_ref(s1, 0, 4);
+  c.append_ref(s2, 0, 4);
+  c.consume(2);
+  EXPECT_EQ(c.to_string(), "234567");
+  c.consume(3);
+  EXPECT_EQ(c.to_string(), "567");
+  c.consume(3);
+  EXPECT_TRUE(c.empty());
+}
+
+TEST(IoChain, CopyOutWindow) {
+  IoChain c;
+  c.append_copy(std::string_view{"abcdefghij"});
+  char buf[4];
+  c.copy_out(3, 4, buf);
+  EXPECT_EQ(std::string(buf, 4), "defg");
+}
+
+TEST(IoChain, FnvMatchesFlatHash) {
+  const std::string flat = "GET / HTTP/1.1\r\nHost: x\r\n\r\n";
+  IoChain c;
+  // Fragment the bytes across several slices; hash must equal the flat's.
+  for (size_t i = 0; i < flat.size(); i += 5) {
+    SegRef seg = IoSegment::alloc(8);
+    const uint32_t n =
+        static_cast<uint32_t>(std::min<size_t>(5, flat.size() - i));
+    seg->append(flat.data() + i, n);
+    c.append_ref(seg, 0, n);
+  }
+  EXPECT_EQ(c.fnv1a(), fnv1a_bytes(flat));
+}
+
+TEST(IoChain, StatsAccounting) {
+  iobuf_stats().reset();
+  IoChain c;
+  c.append_copy(std::string_view{"12345"});
+  SegRef seg = IoSegment::alloc(16);
+  seg->append("abc", 3);
+  c.append_ref(seg, 0, 3);
+  EXPECT_EQ(iobuf_stats().bytes_copied, 5u);
+  EXPECT_EQ(iobuf_stats().bytes_referenced, 3u);
+  EXPECT_GE(iobuf_stats().segments_allocated, 2u);
+}
+
+}  // namespace
+}  // namespace hermes::netsim
