@@ -283,6 +283,20 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  // A typo'd --only would otherwise compare nothing and only fail with the
+  // generic "nothing compared" message — name the bad bench and what the
+  // baseline actually has.
+  if (!only.empty() && baseline.find(only) == baseline.end()) {
+    std::fprintf(stderr,
+                 "bench_gate_check: --only '%s' matches no bench in %s\n"
+                 "available benches:\n",
+                 only.c_str(), files[0]);
+    for (const auto& [bench, metrics] : baseline) {
+      std::fprintf(stderr, "  %s\n", bench.c_str());
+    }
+    return 2;
+  }
+
   int checked = 0, failed = 0, skipped = 0;
   for (const auto& [bench, metrics] : baseline) {
     if (!only.empty() && bench != only) continue;

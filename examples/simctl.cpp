@@ -23,6 +23,7 @@ namespace {
 
 struct Args {
   std::string mode = "hermes";
+  std::string policy;  // empty = default_policy() (HERMES_POLICY or cascade)
   int case_id = 3;
   double load = 1.0;
   uint32_t workers = 8;
@@ -62,6 +63,7 @@ Args parse(int argc, char** argv) {
       return argv[++i];
     };
     if (flag == "--mode") a.mode = next();
+    else if (flag == "--policy") a.policy = next();
     else if (flag == "--case") a.case_id = std::atoi(next());
     else if (flag == "--load") a.load = std::atof(next());
     else if (flag == "--workers") a.workers = (uint32_t)std::atoi(next());
@@ -87,6 +89,8 @@ void usage() {
   std::puts(
       "simctl — drive the Hermes LB simulator\n\n"
       "  --mode M       hermes|exclusive|reuseport|rr|wakeall|fifo|dispatcher\n"
+      "  --policy P     dispatch policy: cascade|p2c|weighted|queue_est\n"
+      "                 (default: HERMES_POLICY env var, else cascade)\n"
       "  --case N       traffic case 1-4 (paper Table 3)\n"
       "  --load X       replay multiplier (1=light, 2=medium, 3=heavy)\n"
       "  --workers N    worker processes / cores (default 8)\n"
@@ -118,6 +122,15 @@ int main(int argc, char** argv) {
 
   sim::LbDevice::Config cfg;
   cfg.mode = parse_mode(a.mode);
+  if (!a.policy.empty()) {
+    core::PolicyKind kind;
+    if (!core::parse_policy(a.policy, &kind)) {
+      std::fprintf(stderr, "unknown policy '%s' (try --help)\n",
+                   a.policy.c_str());
+      return 2;
+    }
+    cfg.policy = kind;
+  }
   cfg.num_workers = a.workers;
   cfg.num_ports = a.ports;
   cfg.seed = a.seed;
@@ -168,7 +181,9 @@ int main(int argc, char** argv) {
   }
   std::printf("  (live connections)\n");
   if (lb.hermes() != nullptr) {
-    std::printf("hermes     : bitmap=0x%lx, %lu schedules, %lu syncs\n",
+    std::printf("hermes     : policy=%s, bitmap=0x%lx, %lu schedules,"
+                " %lu syncs\n",
+                core::to_string(lb.hermes()->policy_kind()),
                 (unsigned long)lb.hermes()->kernel_bitmap(),
                 (unsigned long)lb.hermes()->counters().schedules,
                 (unsigned long)lb.hermes()->counters().syncs);

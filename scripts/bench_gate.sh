@@ -26,6 +26,10 @@
 #                     allocs/request, and the sim leg's data-plane counts
 #                     (the >=2x speedup check is enforced by the bench
 #                     binary itself, which exits non-zero on miss)
+#   ablation_policy   per-policy dispatch programs (cascade/p2c/weighted/
+#                     queue_est); gates insns-per-dispatch + selection
+#                     counts over a fixed ctx sweep and the hetero-fleet
+#                     Fig. 13-style CPU/conn SD per policy
 # Comparison policy (tolerances, wall-clock exclusions) lives in
 # bench/bench_gate_check.cc.
 set -euo pipefail
@@ -34,7 +38,8 @@ cd "$(dirname "$0")/.."
 BUILD_DIR=${BUILD_DIR:-build}
 BASELINE=${BASELINE:-bench/baseline.json}
 GATE_BENCHES=(fig12_unit_cost fig13_load_sd table5_overhead analysis_cost
-              dispatch_path sched_path fleet_scale proxy_path)
+              dispatch_path sched_path fleet_scale proxy_path
+              ablation_policy)
 
 # The gate runs the fleet bench at smoke scale; deterministic metrics scale
 # with the connection count, so the baseline is only valid at this value.

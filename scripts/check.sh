@@ -46,6 +46,7 @@ run_suite() {
   run_tier_sweep "$dir"
   run_sched_sweep "$dir"
   run_zerocopy_sweep "$dir"
+  run_policy_sweep "$dir"
 }
 
 # eBPF execution-tier sweep: the suite above ran at the default tier
@@ -105,6 +106,21 @@ run_zerocopy_sweep() {
     echo "==> ctest ${dir} -L http (HERMES_ZEROCOPY=$zc)"
     HERMES_ZEROCOPY=$zc \
       ctest --test-dir "$dir" --output-on-failure -j "$JOBS" -L http
+  done
+}
+
+# Scheduling-policy sweep: the suite above ran with the default policy
+# (HERMES_POLICY unset = cascade). Re-run the policy-labeled suites
+# pinned to each shipped policy so every generated dispatch program
+# attaches (prove-before-load), dispatches, and keeps its userspace
+# mirror honest under the env-selection path — under a sanitizer tree
+# this is also what would catch an aux-map overrun in a policy program.
+run_policy_sweep() {
+  local dir=$1
+  for pol in cascade p2c weighted queue_est; do
+    echo "==> ctest ${dir} -L policy (HERMES_POLICY=$pol)"
+    HERMES_POLICY=$pol \
+      ctest --test-dir "$dir" --output-on-failure -j "$JOBS" -L policy
   done
 }
 

@@ -86,6 +86,29 @@ class ArrayMap final : public Map {
     return reinterpret_cast<std::atomic<uint64_t>*>(slot)->load(order);
   }
 
+  // Lock-free u64 access to word `word` INSIDE element `key`'s value —
+  // how userspace publishes multi-word policy state (core/policy.h aux
+  // maps) that a dispatch program reads concurrently. Same single
+  // 8-byte-atomic contract as store_u64/load_u64, per word; cross-word
+  // consistency is the policy's problem (every shipped policy tolerates
+  // word-level staleness by design).
+  void store_word_u64(uint32_t key, uint32_t word, uint64_t v,
+                      std::memory_order order = std::memory_order_release) {
+    HERMES_CHECK(static_cast<size_t>(word + 1) * 8 <= stride());
+    uint8_t* slot = lookup(key);
+    HERMES_CHECK(slot != nullptr);
+    reinterpret_cast<std::atomic<uint64_t>*>(slot + size_t{word} * 8)
+        ->store(v, order);
+  }
+  uint64_t load_word_u64(uint32_t key, uint32_t word,
+                         std::memory_order order = std::memory_order_acquire) {
+    HERMES_CHECK(static_cast<size_t>(word + 1) * 8 <= stride());
+    uint8_t* slot = lookup(key);
+    HERMES_CHECK(slot != nullptr);
+    return reinterpret_cast<std::atomic<uint64_t>*>(slot + size_t{word} * 8)
+        ->load(order);
+  }
+
   // Entire backing store, for VM pointer validation.
   uint8_t* storage_base() { return storage_.data(); }
   size_t storage_bytes() const { return storage_.size(); }

@@ -5,17 +5,14 @@
 
 namespace hermes::core {
 
-namespace {
+namespace emit {
 
 using bpf::Assembler;
 using bpf::HelperId;
 using bpf::R;
 using namespace hermes::bpf;  // r0..r10 register names
 
-// r[dst] = popcount(r[src]); r[src] and r[scratch] are clobbered.
-// Straight-line Hamming-weight reduction (paper ref [14]); 17 insns,
-// no branches — verifier-safe by construction.
-void emit_popcount(Assembler& a, R dst, R src, R scratch) {
+void popcount(Assembler& a, R dst, R src, R scratch) {
   HERMES_CHECK(dst.idx != src.idx && dst.idx != scratch.idx &&
                src.idx != scratch.idx);
   a.mov(dst, src);
@@ -39,17 +36,7 @@ void emit_popcount(Assembler& a, R dst, R src, R scratch) {
   a.rsh(dst, 56);
 }
 
-}  // namespace
-
-bpf::Program build_dispatch_program(const DispatchProgramParams& p) {
-  HERMES_CHECK(p.num_groups >= 1);
-  HERMES_CHECK(p.workers_per_group >= 1 &&
-               p.workers_per_group <= kMaxWorkersPerGroup);
-  HERMES_CHECK(p.min_workers >= 1);
-
-  Assembler a;
-  // Register plan: r6 = ctx, r7 = group index (later: global worker id),
-  // r8 = selection bitmap C, r9 = n = popcount(C); r0-r5 scratch.
+void dispatch_prologue(Assembler& a, const DispatchProgramParams& p) {
   a.mov(r6, r1);  // save ctx
 
   // ---- level-1: group selection -------------------------------------
@@ -74,47 +61,49 @@ bpf::Program build_dispatch_program(const DispatchProgramParams& p) {
 
   // ---- n = CountNonZeroBits(C) ----------------------------------------
   a.mov(r2, r8);
-  emit_popcount(a, /*dst=*/r9, /*src=*/r2, /*scratch=*/r3);
+  popcount(a, /*dst=*/r9, /*src=*/r2, /*scratch=*/r3);
 
   // Algo. 2 line 4: not enough coarse-filtered workers -> plain reuseport.
   a.jlt(r9, static_cast<int64_t>(p.min_workers), "fallback");
+}
 
-  // ---- Nth = reciprocal_scale(ctx.hash, n) + 1 (1-indexed rank) --------
-  a.ldx_w(r1, r6, bpf::kCtxOffHash);
-  a.mul(r1, r9);
-  a.rsh(r1, 32);
-  a.add(r1, 1);
-
-  // ---- FindNthNonZeroBit(C, Nth) ---------------------------------------
+void rank_select(Assembler& a, const std::string& tag) {
+  const std::string done = "rank_done_" + tag;
   // Clear the lowest set bit (Nth-1) times; forward-only early exit when
   // the remaining rank is exhausted (paper ref [5]).
   a.mov(r2, r8);
   for (int64_t k = 1; k < static_cast<int64_t>(kMaxWorkersPerGroup); ++k) {
-    a.jle(r1, k, "rank_done");  // Nth <= k: enough bits cleared
+    a.jle(r1, k, done);  // Nth <= k: enough bits cleared
     a.mov(r4, r2);
     a.sub(r4, 1);
     a.and_(r2, r4);  // v &= v - 1
   }
-  a.label("rank_done");
+  a.label(done);
   // position = ctz(v) = popcount((v & -v) - 1)
   a.mov(r3, r2);
   a.neg(r3);
   a.and_(r3, r2);
   a.sub(r3, 1);
-  emit_popcount(a, /*dst=*/r2, /*src=*/r3, /*scratch=*/r4);
+  popcount(a, /*dst=*/r2, /*src=*/r3, /*scratch=*/r4);
+}
 
-  // Hardening guard: a corrupt bitmap with bits set at or above
-  // workers_per_group would otherwise index into another group's socket
-  // range (previously it fell back only via sk_select ENOENT). Bailing
-  // out here keeps the selected index provably below num_groups *
-  // workers_per_group — bpf/analysis/prove.cc machine-checks exactly
-  // this bound, which interval reasoning alone cannot recover from the
-  // popcount's multiply-overflow.
-  a.jge(r2, static_cast<int64_t>(p.workers_per_group), "fallback");
+void dispatch_epilogue(Assembler& a, const DispatchProgramParams& p, R pos,
+                       bool emit_guard) {
+  HERMES_CHECK(pos.idx != r6.idx && pos.idx != r7.idx && pos.idx != r10.idx);
+  if (emit_guard) {
+    // Hardening guard: a corrupt bitmap with bits set at or above
+    // workers_per_group would otherwise index into another group's socket
+    // range (previously it fell back only via sk_select ENOENT). Bailing
+    // out here keeps the selected index provably below num_groups *
+    // workers_per_group — bpf/analysis/prove.cc machine-checks exactly
+    // this bound, which interval reasoning alone cannot recover from the
+    // popcount's multiply-overflow.
+    a.jge(pos, static_cast<int64_t>(p.workers_per_group), "fallback");
+  }
 
   // ---- global worker id -> socket --------------------------------------
   a.mul(r7, static_cast<int64_t>(p.workers_per_group));
-  a.add(r7, r2);
+  a.add(r7, pos);
   a.stx_w(r10, -8, r7);  // key = worker id
   a.mov(r1, r6);
   a.ld_map_fd(r2, p.sock_map_slot);
@@ -129,7 +118,32 @@ bpf::Program build_dispatch_program(const DispatchProgramParams& p) {
   a.label("fallback");
   a.mov(r0, static_cast<int64_t>(bpf::kRetFallback));
   a.exit();
+}
 
+}  // namespace emit
+
+bpf::Program build_dispatch_program(const DispatchProgramParams& p) {
+  HERMES_CHECK(p.num_groups >= 1);
+  HERMES_CHECK(p.workers_per_group >= 1 &&
+               p.workers_per_group <= kMaxWorkersPerGroup);
+  HERMES_CHECK(p.min_workers >= 1);
+
+  using namespace hermes::bpf;  // r0..r10 register names
+  Assembler a;
+  // Register plan: r6 = ctx, r7 = group index (later: global worker id),
+  // r8 = selection bitmap C, r9 = n = popcount(C); r0-r5 scratch.
+  emit::dispatch_prologue(a, p);
+
+  // ---- Nth = reciprocal_scale(ctx.hash, n) + 1 (1-indexed rank) --------
+  a.ldx_w(r1, r6, bpf::kCtxOffHash);
+  a.mul(r1, r9);
+  a.rsh(r1, 32);
+  a.add(r1, 1);
+
+  // ---- FindNthNonZeroBit(C, Nth) ---------------------------------------
+  emit::rank_select(a, "cascade");
+
+  emit::dispatch_epilogue(a, p, r2, /*emit_guard=*/true);
   return a.finish();
 }
 

@@ -4,6 +4,7 @@
 #include <chrono>
 #include <cstdlib>
 
+#include "bpf/analysis/prove.h"
 #include "bpf/jit/validate/validate.h"
 #include "util/check.h"
 
@@ -38,6 +39,11 @@ HermesRuntime::HermesRuntime(const Options& opts)
       obs_(opts.obs),
       scheduler_(opts.config),
       sel_map_(std::make_unique<bpf::ArrayMap>(num_groups_, sizeof(uint64_t))),
+      policy_(make_policy(opts.policy, PolicyConfig{opts.worker_weights})),
+      aux_map_(policy_->aux_value_bytes() > 0
+                   ? std::make_unique<bpf::ArrayMap>(
+                         num_groups_, policy_->aux_value_bytes())
+                   : nullptr),
       last_sync_ns_(num_groups_),
       last_pushed_bitmap_(num_groups_),
       last_push_ns_(num_groups_),
@@ -45,6 +51,7 @@ HermesRuntime::HermesRuntime(const Options& opts)
       gather_pending_(num_workers_),
       gather_conns_(num_workers_) {
   HERMES_CHECK(num_workers_ > 0);
+  HERMES_CHECK(policy_->aux_words() <= kMaxWorkersPerGroup);
   for (auto& t : last_sync_ns_) t.store(-1, std::memory_order_relaxed);
   for (auto& t : last_push_ns_) t.store(-1, std::memory_order_relaxed);
 }
@@ -67,6 +74,16 @@ ScheduleResult HermesRuntime::schedule_and_sync(WorkerId self, SimTime now) {
   } else {
     res = scheduler_.schedule(wst_, now, base, limit);
   }
+  if (aux_map_ != nullptr) {
+    // Aux policies re-gather the group slice onto the stack (the
+    // scheduler's own gather is internal, and member scratch would race
+    // across worker threads). One extra SoA scan, aux policies only.
+    int64_t enter[kMaxWorkersPerGroup];
+    int64_t pending[kMaxWorkersPerGroup];
+    int64_t conns[kMaxWorkersPerGroup];
+    wst_.gather(base, limit, enter, pending, conns);
+    refresh_aux(self, group, base, limit, now, res, enter, pending, conns);
+  }
   finish_sync(self, group, now, res);
   return res;
 }
@@ -87,7 +104,38 @@ void HermesRuntime::schedule_all_groups(WorkerId self, SimTime now,
         gather_enter_.data() + base, gather_pending_.data() + base,
         gather_conns_.data() + base, limit, now, cfg.stage_order,
         cfg.num_stages);
+    if (aux_map_ != nullptr) {
+      refresh_aux(self, g, base, limit, now, out[g],
+                  gather_enter_.data() + base, gather_pending_.data() + base,
+                  gather_conns_.data() + base);
+    }
     finish_sync(self, g, now, out[g]);
+  }
+}
+
+void HermesRuntime::refresh_aux(WorkerId self, uint32_t group, WorkerId base,
+                                uint32_t limit, SimTime now,
+                                const ScheduleResult& res,
+                                const int64_t* enter, const int64_t* pending,
+                                const int64_t* conns) {
+  uint64_t words[kMaxWorkersPerGroup];
+  PolicyAuxInputs in;
+  in.loop_enter_ns = enter;
+  in.pending_events = pending;
+  in.connections = conns;
+  in.limit = limit;
+  in.base = base;
+  in.now = now;
+  in.result = &res;
+  policy_->fill_aux(in, words);
+  const uint32_t n = policy_->aux_words();
+  for (uint32_t w = 0; w < n; ++w) {
+    aux_map_->store_word_u64(group, w, words[w]);
+  }
+  ++counters_.aux_publishes;
+  if (obs_ != nullptr) {
+    obs_->metrics.policy_publishes[static_cast<size_t>(policy_->kind())]->inc(
+        self);
   }
 }
 
@@ -155,6 +203,8 @@ void HermesRuntime::finish_sync(WorkerId self, uint32_t group, SimTime now,
   ++counters_.syncs;
   if (obs_ != nullptr) {
     obs_->metrics.sync_published->inc(self);
+    obs_->metrics.policy_publishes[static_cast<size_t>(policy_->kind())]->inc(
+        self);
     const int64_t prev =
         last_sync_ns_[group].exchange(now.ns(), std::memory_order_relaxed);
     const int64_t gap = prev >= 0 ? now.ns() - prev : 0;
@@ -171,17 +221,40 @@ PortAttachment HermesRuntime::attach_port(
   HERMES_CHECK_MSG(worker_cookies.size() == num_workers_,
                    "one socket cookie per worker required");
   PortAttachment att;
-  att.sock_map = std::make_unique<bpf::ReuseportSockArray>(num_workers_);
+  // The socket array is sized to the program's provable key bound
+  // (num_groups * workers_per_group), not the live worker count: a
+  // partial last group leaves trailing slots at kNoSocket, and a
+  // selection landing there falls back via sk_select's miss — the same
+  // sparse-sockarray semantics as the kernel. This keeps the prove.h
+  // obligation exact: every selected key < the array's capacity.
+  att.sock_map =
+      std::make_unique<bpf::ReuseportSockArray>(num_groups_ * wpg_);
   for (uint32_t w = 0; w < num_workers_; ++w) {
     HERMES_CHECK(att.sock_map->update(w, worker_cookies[w]));
   }
 
-  DispatchProgramParams params;
-  params.sel_map_slot = 0;
-  params.sock_map_slot = 1;
-  params.num_groups = num_groups_;
-  params.workers_per_group = wpg_;
-  params.min_workers = scheduler_.config().min_workers_for_dispatch;
+  PolicyProgramParams pp;
+  pp.base.sel_map_slot = 0;
+  pp.base.sock_map_slot = 1;
+  pp.base.num_groups = num_groups_;
+  pp.base.workers_per_group = wpg_;
+  pp.base.min_workers = scheduler_.config().min_workers_for_dispatch;
+  pp.aux_map_slot = 2;
+
+  std::vector<bpf::Map*> maps = {sel_map_.get(), att.sock_map.get()};
+  if (aux_map_ != nullptr) maps.push_back(aux_map_.get());
+  bpf::Program prog = policy_->build_program(pp);
+
+  // Machine-check the generated program BEFORE load (the policy-authoring
+  // safety contract, DESIGN.md §12): on every path reaching the socket
+  // selection the key is proven < num_workers. The program is a pure
+  // function of the runtime config, so one proof covers all ports.
+  if (!dispatch_proved_) {
+    const bpf::analysis::DispatchProof proof = bpf::analysis::prove_dispatch(
+        prog, maps, att.sock_map->max_entries());
+    HERMES_CHECK_MSG(proof.ok, proof.detail.c_str());
+    dispatch_proved_ = true;
+  }
 
   std::string err;
   const uint64_t fallbacks_before = vm_.jit_fallbacks();
@@ -191,8 +264,7 @@ PortAttachment HermesRuntime::attach_port(
       vm_.jit_fallbacks_by_kind(bpf::JitFallbackKind::ValidateReject)};
   const uint64_t validate_before[] = {bpf::jit::validate::accepts(),
                                       bpf::jit::validate::rejects()};
-  att.program = vm_.load(build_dispatch_program(params),
-                         {sel_map_.get(), att.sock_map.get()}, &err);
+  att.program = vm_.load(std::move(prog), std::move(maps), &err);
   HERMES_CHECK_MSG(att.program != nullptr, err.c_str());
   // A tier-3 request that compiled down to tier 2 must be visible, not a
   // silent downgrade: count it where dashboards can alert on it — split

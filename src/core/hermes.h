@@ -29,6 +29,7 @@
 #include "core/dispatch_prog.h"
 #include "core/event_loop_hooks.h"
 #include "core/fault_injection.h"
+#include "core/policy.h"
 #include "core/scheduler.h"
 #include "core/wst.h"
 #include "obs/observability.h"
@@ -56,6 +57,12 @@ class HermesRuntime {
     // Optional observability sinks (metrics + trace rings; not owned).
     // Null disables all instrumentation at zero cost.
     obs::Observability* obs = nullptr;
+    // Scheduling policy (core/policy.h): which Stage-2 aux pipeline +
+    // Stage-3 dispatch program pair the runtime runs. Defaults to the
+    // HERMES_POLICY env override, else the paper's cascade.
+    PolicyKind policy = default_policy();
+    // Per-worker capacity weights for the weighted policy (empty = all 1).
+    std::vector<uint32_t> worker_weights;
   };
 
   explicit HermesRuntime(const Options& opts);
@@ -70,6 +77,11 @@ class HermesRuntime {
   Scheduler& scheduler() { return scheduler_; }
   bpf::Vm& vm() { return vm_; }
   bpf::ArrayMap& sel_map() { return *sel_map_; }
+  const SchedulingPolicy& policy() const { return *policy_; }
+  PolicyKind policy_kind() const { return policy_->kind(); }
+  // The active policy's auxiliary map (slot 2), or null for policies with
+  // no aux state (cascade).
+  bpf::ArrayMap* aux_map() { return aux_map_.get(); }
 
   // Stage-1 instrumentation handle for a worker (Fig. 9).
   EventLoopHooks hooks_for(WorkerId w) {
@@ -108,6 +120,7 @@ class HermesRuntime {
     uint64_t workers_selected_sum = 0;  // for avg pass ratio (Fig. 14)
     uint64_t syncs_dropped = 0;  // map updates suppressed by fault injection
     uint64_t syncs_suppressed = 0;  // stores skipped: bitmap unchanged
+    uint64_t aux_publishes = 0;  // policy aux-map refreshes (word stores / 64)
   };
   const Counters& counters() const { return counters_; }
 
@@ -117,6 +130,14 @@ class HermesRuntime {
   // schedule_and_sync and schedule_all_groups.
   void finish_sync(WorkerId self, uint32_t group, SimTime now,
                    ScheduleResult& res);
+
+  // Policy aux refresh for one group: fill_aux over the given gathered
+  // slice, then publish word-atomically into aux_map_[group]. No-op for
+  // policies without aux state.
+  void refresh_aux(WorkerId self, uint32_t group, WorkerId base,
+                   uint32_t limit, SimTime now, const ScheduleResult& res,
+                   const int64_t* enter, const int64_t* pending,
+                   const int64_t* conns);
 
   uint32_t num_workers_;
   uint32_t wpg_;
@@ -128,6 +149,11 @@ class HermesRuntime {
   Scheduler scheduler_;
   bpf::Vm vm_;
   std::unique_ptr<bpf::ArrayMap> sel_map_;
+  std::unique_ptr<SchedulingPolicy> policy_;
+  std::unique_ptr<bpf::ArrayMap> aux_map_;  // null: policy has no aux state
+  // The dispatch program is a pure function of the runtime config, so the
+  // prove.h machine-check runs once and covers every later attach_port.
+  bool dispatch_proved_ = false;
   Counters counters_;
   // Per-group timestamp of the last completed sync, for the staleness
   // histogram (sync.gap_ns). Atomic: syncs may race across worker threads.

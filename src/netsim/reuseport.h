@@ -64,6 +64,12 @@ class ReuseportGroup {
   // Observability sink for dispatch decisions (nullable; not owned).
   void set_metrics(obs::PipelineMetrics* m) { metrics_ = m; }
 
+  // Per-policy dispatch counter (sched.policy.<name>.dispatches), resolved
+  // by whoever attaches the program — this layer doesn't know which
+  // scheduling policy generated it. Nullable; not owned. Counted on every
+  // successful program selection, alongside dispatch.bpf.
+  void set_policy_counter(obs::Counter* c) { policy_dispatches_ = c; }
+
   // Socket selection for an incoming SYN.
   ListeningSocket* select(const FourTuple& tuple) {
     HERMES_CHECK_MSG(!sockets_.empty(), "reuseport group has no sockets");
@@ -89,6 +95,7 @@ class ReuseportGroup {
         if (ListeningSocket* s = by_cookie(ctx.selected_socket)) {
           ++stats_.bpf_selections;
           if (metrics_ != nullptr) metrics_->dispatch_bpf->inc(0);
+          if (policy_dispatches_ != nullptr) policy_dispatches_->inc(0);
           picked = s;
         }
       }
@@ -175,6 +182,9 @@ class ReuseportGroup {
       if (selections != 0) metrics_->dispatch_bpf->add(0, selections);
       if (fallbacks != 0) metrics_->dispatch_fallback->add(0, fallbacks);
     }
+    if (policy_dispatches_ != nullptr && selections != 0) {
+      policy_dispatches_->add(0, selections);
+    }
   }
 
  private:
@@ -184,6 +194,7 @@ class ReuseportGroup {
   const bpf::Vm* vm_ = nullptr;
   const bpf::LoadedProgram* prog_ = nullptr;
   obs::PipelineMetrics* metrics_ = nullptr;  // nullable; not owned
+  obs::Counter* policy_dispatches_ = nullptr;  // nullable; not owned
   SelectStats stats_;
 };
 

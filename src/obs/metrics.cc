@@ -209,6 +209,15 @@ PipelineMetrics::PipelineMetrics(Registry& reg, uint32_t workers)
       sync_gap_ns(&reg.histogram("sync.gap_ns", workers, 2)),
       sched_syncs_suppressed(&reg.counter("sched.syncs_suppressed", workers)),
       sched_fast_path_ns(&reg.counter("sched.fast_path_ns", workers)),
+      policy_publishes{&reg.counter("sched.policy.cascade.publishes", workers),
+                       &reg.counter("sched.policy.p2c.publishes", workers),
+                       &reg.counter("sched.policy.weighted.publishes", workers),
+                       &reg.counter("sched.policy.queue_est.publishes",
+                                    workers)},
+      policy_dispatches{&reg.counter("sched.policy.cascade.dispatches", 1),
+                        &reg.counter("sched.policy.p2c.dispatches", 1),
+                        &reg.counter("sched.policy.weighted.dispatches", 1),
+                        &reg.counter("sched.policy.queue_est.dispatches", 1)},
       dispatch_picks(&reg.counter("dispatch.picks", workers)),
       dispatch_bpf(&reg.counter("dispatch.bpf", 1)),
       dispatch_fallback(&reg.counter("dispatch.fallback", 1)),

@@ -208,6 +208,13 @@ struct PipelineMetrics {
   Counter* sched_syncs_suppressed;  // M_sel stores skipped: bitmap unchanged
   Counter* sched_fast_path_ns;      // wall ns accumulated inside schedule()
 
+  // Scheduling-policy framework (core/policy.h, DESIGN.md §12), indexed
+  // by core::PolicyKind. publishes counts kernel-visible policy-state
+  // publications (bitmap stores + aux-map refreshes); dispatches counts
+  // sockets actually selected by that policy's program.
+  Counter* policy_publishes[4];
+  Counter* policy_dispatches[4];
+
   // Stage 3 — in-kernel dispatch (Algo. 2 at reuseport-select time).
   Counter* dispatch_picks;      // sharded by the *picked* worker
   Counter* dispatch_bpf;        // program selected a socket

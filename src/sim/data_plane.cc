@@ -139,7 +139,9 @@ SimTime DataPlane::on_request(WorkerId w, const Request& req,
   }
   sync_pool_stats(w);
 
-  return pooled ? SimTime{} : cfg_.backend_handshake_cost;
+  const SimTime byte_cost{cfg_.per_byte_cost.ns() *
+                          static_cast<int64_t>(req.bytes)};
+  return byte_cost + (pooled ? SimTime{} : cfg_.backend_handshake_cost);
 }
 
 void DataPlane::on_response(WorkerId w, const Request& req, SimTime now) {

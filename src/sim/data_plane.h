@@ -46,6 +46,11 @@ class DataPlane {
     // Charged into a request's service time on a pool miss (the TCP/TLS
     // handshake to the backend the paper's §7 pools exist to avoid).
     SimTime backend_handshake_cost = SimTime::micros(50);
+    // Body-size-dependent service cost: every request additionally costs
+    // per_byte_cost * Request::bytes (parse + forward work scales with the
+    // wire size). Zero by default — the abstract cost model stays
+    // byte-identical unless a scenario opts in.
+    SimTime per_byte_cost{};
     uint64_t seed = 42;  // round-robin start offsets
   };
 

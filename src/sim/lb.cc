@@ -43,6 +43,18 @@ LbDevice::LbDevice(Config cfg)
     opts.num_workers = cfg_.num_workers;
     opts.faults = cfg_.faults;
     opts.obs = obs_.get();
+    opts.policy = cfg_.policy;
+    if (!cfg_.worker_speeds.empty()) {
+      // Capacity weights for the weighted policy: proportional to core
+      // speed, quantized to keep the 64-slot lottery table faithful.
+      opts.worker_weights.reserve(cfg_.num_workers);
+      for (WorkerId w = 0; w < cfg_.num_workers; ++w) {
+        const double speed =
+            w < cfg_.worker_speeds.size() ? cfg_.worker_speeds[w] : 1.0;
+        opts.worker_weights.push_back(static_cast<uint32_t>(
+            std::max<int64_t>(1, std::llround(speed * 4.0))));
+      }
+    }
     hermes_.emplace(opts);
     hermes_->vm().set_time_fn(
         [this] { return static_cast<uint64_t>(eq_.now().ns()); });
@@ -58,6 +70,11 @@ LbDevice::LbDevice(Config cfg)
       attachments_.push_back(hermes_->attach_port(cookies));
       ns_.group(port)->attach_program(&hermes_->vm(),
                                       attachments_.back().program.get());
+      if (obs_) {
+        ns_.group(port)->set_policy_counter(
+            obs_->metrics.policy_dispatches[static_cast<size_t>(
+                hermes_->policy_kind())]);
+      }
     }
   }
 
@@ -73,6 +90,7 @@ LbDevice::LbDevice(Config cfg)
   for (WorkerId w = 0; w < cfg_.num_workers; ++w) {
     Worker::Config wc = cfg_.worker;
     wc.id = w;
+    if (w < cfg_.worker_speeds.size()) wc.speed = cfg_.worker_speeds[w];
     if (user_dispatcher) wc.accepts_enabled = false;
     workers_.push_back(std::make_unique<Worker>(
         wc, eq_, ns_, host, hermes_ ? &*hermes_ : nullptr));

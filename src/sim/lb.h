@@ -35,6 +35,13 @@ class LbDevice {
     size_t backlog = 1024;
     Worker::Config worker{};           // id is overwritten per worker
     core::HermesConfig hermes{};
+    // Scheduling policy for the generated dispatch program (core/policy.h).
+    // Defaults to the cascade, overridable via HERMES_POLICY.
+    core::PolicyKind policy = core::default_policy();
+    // Heterogeneous fleet: per-worker relative core speeds (empty = all
+    // 1.0). Shorter than num_workers pads with 1.0. Also feeds the
+    // weighted policy's capacity weights (weight = round(speed * 4)).
+    std::vector<double> worker_speeds;
     uint64_t seed = 1;
     // Client SYN retransmission on backlog overflow: 0 = drops are final
     // (default; keeps calibrated benches stable). With retries, dropped

@@ -23,7 +23,8 @@ struct Request {
   SimTime arrival{};     // when it reached the kernel (SYN time for the
                          // first request of a connection)
   SimTime cost{};        // CPU time the worker will spend on it
-  uint64_t bytes = 0;    // wire size (stats only)
+  uint64_t bytes = 0;    // wire size; with the data plane enabled it also
+                         // scales service time (DataPlane per_byte_cost)
   bool is_poison = false;  // hang-inducing (stuck edge-triggered read)
 };
 

@@ -1,5 +1,7 @@
 #include "sim/worker.h"
 
+#include <cmath>
+
 #include "util/check.h"
 
 namespace hermes::sim {
@@ -135,9 +137,12 @@ void Worker::process_next() {
   WorkerEvent ev = batch_.front();
   batch_.pop_front();
 
-  const SimTime cost = ev.kind == WorkerEvent::Kind::Accept
-                           ? cfg_.accept_cost
-                           : ev.request.cost;
+  SimTime cost = ev.kind == WorkerEvent::Kind::Accept ? cfg_.accept_cost
+                                                      : ev.request.cost;
+  if (cfg_.speed != 1.0) {
+    cost = SimTime{static_cast<int64_t>(
+        std::llround(static_cast<double>(cost.ns()) / cfg_.speed))};
+  }
   busy_time_ += cost;
   event_proc_time_.record(cost);
   eq_.schedule_after(cost, [this, ev = std::move(ev)]() mutable {

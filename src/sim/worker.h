@@ -52,6 +52,10 @@ class Worker final : public netsim::Waiter {
     // UserDispatcher mode: the worker does not accept from listening
     // sockets itself; connections arrive via adopt_connection().
     bool accepts_enabled = true;
+    // Relative core speed for heterogeneous-fleet scenarios: request and
+    // accept costs are divided by this factor (2.0 = twice as fast). 1.0
+    // keeps the cost model byte-identical to the homogeneous path.
+    double speed = 1.0;
   };
 
   // Host callbacks (implemented by LbDevice).

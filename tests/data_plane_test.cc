@@ -87,6 +87,43 @@ TEST(DataPlaneTest, ZeroCopyAndOracleStreamsAreBitIdentical) {
   EXPECT_EQ(a.bytes_zero_copied, b.bytes_copied);
 }
 
+TEST(DataPlaneTest, PerByteCostScalesServiceTimeWithBodySize) {
+  // Body-size-dependent service costs: on_request charges exactly
+  // per_byte_cost * Request::bytes on top of any handshake.
+  DataPlane::Config dc;
+  dc.enabled = true;
+  dc.num_backends = 1;  // force the second request onto the warm conn
+  dc.per_byte_cost = SimTime::nanos(100);
+  DataPlane dp(dc, /*num_workers=*/2, /*obs=*/nullptr);
+  Request req;
+  req.id = 1;
+  req.conn = 7;
+  req.bytes = 700;
+  // First request: pool miss (handshake) + the 700-byte bill.
+  const SimTime first = dp.on_request(0, req, /*last_on_conn=*/false,
+                                      SimTime::zero());
+  EXPECT_EQ(first.ns(), dc.backend_handshake_cost.ns() + 700ll * 100);
+  dp.on_response(0, req, SimTime::micros(10));
+  // Second request reuses the warm backend: the byte bill alone remains.
+  req.id = 2;
+  req.bytes = 40;
+  const SimTime second = dp.on_request(0, req, /*last_on_conn=*/true,
+                                       SimTime::micros(20));
+  EXPECT_EQ(second.ns(), 40ll * 100);
+
+  // And the default stays free: byte counts alone never cost CPU.
+  DataPlane::Config free_cfg;
+  free_cfg.enabled = true;
+  DataPlane free_dp(free_cfg, 2, nullptr);
+  Request fr;
+  fr.id = 3;
+  fr.conn = 9;
+  fr.bytes = 5000;
+  const SimTime f =
+      free_dp.on_request(0, fr, /*last_on_conn=*/true, SimTime::zero());
+  EXPECT_EQ(f.ns(), free_cfg.backend_handshake_cost.ns());
+}
+
 TEST(DataPlaneTest, PoolReusesWarmBackendConnections) {
   LbDevice::Config cfg = dp_config(/*zero_copy=*/true);
   cfg.data_plane.num_backends = 1;  // every request hits the same backend

@@ -13,6 +13,7 @@
 #include "bpf/analysis/prove.h"
 #include "bpf/maps.h"
 #include "core/dispatch_prog.h"
+#include "core/policy.h"
 
 namespace hermes::core {
 namespace {
@@ -82,6 +83,75 @@ TEST(DispatchProveTest, ProofDetailNamesEveryCallSite) {
   EXPECT_NE(proof.detail.find("key"), std::string::npos);
   EXPECT_NE(proof.detail.find("return value"), std::string::npos);
   EXPECT_GT(proof.analysis.analysis_steps, 0u);
+}
+
+// Every scheduling policy's generated program must carry the same proof:
+// the runtime refuses to attach an unproven program (hermes.cc), so a
+// policy whose emitter drops a guard must fail HERE, not in production.
+DispatchProof prove_policy(const SchedulingPolicy& policy,
+                           const PolicyProgramParams& p) {
+  const uint64_t nr_socks = static_cast<uint64_t>(p.base.num_groups) *
+                            p.base.workers_per_group;
+  ArrayMap sel(p.base.num_groups, /*value_size=*/8);
+  ReuseportSockArray socks(static_cast<uint32_t>(nr_socks));
+  std::vector<Map*> maps = {&sel, &socks};
+  std::unique_ptr<ArrayMap> aux;
+  if (policy.aux_value_bytes() > 0) {
+    aux = std::make_unique<ArrayMap>(p.base.num_groups,
+                                     policy.aux_value_bytes());
+    maps.push_back(aux.get());
+  }
+  return prove_dispatch(policy.build_program(p), maps, nr_socks);
+}
+
+TEST(DispatchProveTest, EveryPolicyProvenOnEveryGeometry) {
+  struct Geometry {
+    uint32_t groups, per_group;
+  };
+  for (size_t k = 0; k < kPolicyCount; ++k) {
+    const auto policy = make_policy(static_cast<PolicyKind>(k),
+                                    PolicyConfig{{4, 4, 2, 1}});
+    for (const auto [groups, per_group] :
+         {Geometry{1, 2}, Geometry{1, 8}, Geometry{2, 8}, Geometry{2, 64},
+          Geometry{4, 16}, Geometry{3, 5}, Geometry{16, 16},
+          Geometry{64, 64}}) {
+      PolicyProgramParams p;
+      p.base.num_groups = groups;
+      p.base.workers_per_group = per_group;
+      p.base.min_workers = 1;
+      const DispatchProof proof = prove_policy(*policy, p);
+      EXPECT_TRUE(proof) << policy->name() << " " << groups << "x"
+                         << per_group << ":\n"
+                         << proof.detail;
+    }
+  }
+}
+
+TEST(DispatchProveTest, PlantedOutOfRangeSelectionFailsProofPerPolicy) {
+  // The negative control per policy: plant_out_of_range omits the range
+  // guards in front of the socket selection, so the selected key can
+  // exceed nr_socks — prove.h MUST reject every such program (a planted
+  // program is never loaded). This is what stops a future policy author
+  // from shipping an unguarded index.
+  for (size_t k = 0; k < kPolicyCount; ++k) {
+    const auto policy = make_policy(static_cast<PolicyKind>(k),
+                                    PolicyConfig{{4, 4, 2, 1}});
+    PolicyProgramParams p;
+    p.base.num_groups = 2;
+    p.base.workers_per_group = 16;
+    p.base.min_workers = 1;
+    p.plant_out_of_range = true;
+    const DispatchProof proof = prove_policy(*policy, p);
+    EXPECT_FALSE(proof) << policy->name()
+                        << ": planted out-of-range selection was proven";
+    // The rejection may trip at the sk_select key bound ("not proven") or
+    // earlier, when the unguarded index walks out of the aux map value —
+    // either way the program must not load.
+    EXPECT_TRUE(proof.detail.find("not proven") != std::string::npos ||
+                proof.detail.find("out of bounds") != std::string::npos)
+        << policy->name() << ":\n"
+        << proof.detail;
+  }
 }
 
 TEST(DispatchProveTest, NegativeControlUnguardedIndexFailsProof) {

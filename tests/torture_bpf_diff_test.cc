@@ -48,6 +48,7 @@
 #include "bpf/ref_interpreter.h"
 #include "bpf/vm.h"
 #include "core/dispatch_prog.h"
+#include "core/policy.h"
 #include "simcore/rng.h"
 #include "testing/fuzz_gen.h"
 
@@ -343,6 +344,181 @@ TEST(TortureBpfDiff, DispatchProgramAgreesWithReferenceInterpreter) {
         ASSERT_EQ(got.insns_executed, ref.insns_executed) << where();
         ASSERT_EQ(ctx.selection_made, ref_ctx.selection_made) << where();
         ASSERT_EQ(ctx.selected_socket, ref_ctx.selected_socket) << where();
+      }
+    }
+  }
+}
+
+// Every scheduling policy's generated dispatch program (core/policy.h),
+// differentially checked the same way — with two policy-specific twists:
+//
+//   * each tier gets PRIVATE maps. queue_est's program WRITES its aux map
+//     (the per-dispatch estimate increment), so tiers sharing storage
+//     would contaminate each other; instead every tier's final aux bytes
+//     must match the reference interpreter's byte-for-byte;
+//   * the policy's C++ mirror (reference_dispatch, which mutates its own
+//     plain-memory aux copy) must agree with the program on both the
+//     picked worker and the resulting aux contents.
+//
+// Aux values refresh from fill_aux() every few iterations, not every one,
+// so the sweep also covers the staleness window where the bitmap moved
+// but the aux state did not (weighted's membership re-check, queue_est's
+// accumulated increments).
+TEST(TortureBpfDiff, PolicyProgramsBitIdenticalAcrossTiers) {
+  ValidateScope validate_scope;
+  struct Geometry {
+    uint32_t groups;
+    uint32_t workers_per_group;
+  };
+  constexpr Geometry kGeometries[] = {
+      {1, 2}, {1, 8}, {2, 8}, {2, 64}, {4, 16}, {3, 5}};
+  constexpr int kIters = 450;
+
+  core::PolicyConfig pcfg;
+  pcfg.worker_weights = {4, 4, 2, 1};  // heterogeneous head, weight-1 tail
+
+  for (size_t k = 0; k < core::kPolicyCount; ++k) {
+    const auto kind = static_cast<core::PolicyKind>(k);
+    const auto policy = core::make_policy(kind, pcfg);
+    for (const Geometry& g : kGeometries) {
+      const uint32_t n_socks = g.groups * g.workers_per_group;
+      const uint64_t bitmap_mask = g.workers_per_group >= 64
+                                       ? ~0ull
+                                       : (1ull << g.workers_per_group) - 1;
+      core::PolicyProgramParams pp;
+      pp.base.num_groups = g.groups;
+      pp.base.workers_per_group = g.workers_per_group;
+      pp.base.min_workers = 1;
+      const Program prog = policy->build_program(pp);
+      const uint32_t aux_bytes = policy->aux_value_bytes();
+
+      // One private world per tier + one for the reference interpreter.
+      struct PolicyWorld {
+        std::unique_ptr<ArrayMap> sel;
+        std::unique_ptr<ReuseportSockArray> socks;
+        std::unique_ptr<ArrayMap> aux;
+        std::vector<Map*> maps;
+      };
+      auto make_world = [&] {
+        PolicyWorld w;
+        w.sel = std::make_unique<ArrayMap>(g.groups, sizeof(uint64_t));
+        w.socks = std::make_unique<ReuseportSockArray>(n_socks);
+        for (uint32_t s = 0; s < n_socks; ++s) w.socks->update(s, 1000 + s);
+        w.maps = {w.sel.get(), w.socks.get()};
+        if (aux_bytes > 0) {
+          w.aux = std::make_unique<ArrayMap>(g.groups, aux_bytes);
+          w.maps.push_back(w.aux.get());
+        }
+        return w;
+      };
+      PolicyWorld ref_world = make_world();
+      PolicyWorld tier_worlds[kNumTiers];
+      Vm vms[kNumTiers];
+      std::unique_ptr<LoadedProgram> loaded[kNumTiers];
+      for (int t = 0; t < kNumTiers; ++t) {
+        tier_worlds[t] = make_world();
+        vms[t].set_tier(static_cast<ExecTier>(t));
+        std::string err;
+        loaded[t] = vms[t].load(prog, tier_worlds[t].maps, &err);
+        ASSERT_NE(loaded[t], nullptr)
+            << policy->name() << " " << g.groups << "x"
+            << g.workers_per_group << " tier " << t << ": " << err;
+      }
+
+      // The C++ mirror's aux copy (plain memory, same per-group stride as
+      // the map's slots).
+      const size_t stride = aux_bytes;
+      std::vector<uint8_t> mirror_aux(stride * g.groups, 0);
+      std::vector<uint64_t> bitmaps(g.groups, 0);
+
+      sim::Rng rng(0xbadcab1e + k * 977 + g.groups * 131 +
+                   g.workers_per_group);
+      int64_t conns[core::kMaxWorkersPerGroup];
+      int64_t pending[core::kMaxWorkersPerGroup];
+      for (int i = 0; i < kIters; ++i) {
+        for (uint32_t gr = 0; gr < g.groups; ++gr) {
+          bitmaps[gr] = rng.next_u64() & bitmap_mask;
+          ref_world.sel->store_u64(gr, bitmaps[gr]);
+          for (int t = 0; t < kNumTiers; ++t) {
+            tier_worlds[t].sel->store_u64(gr, bitmaps[gr]);
+          }
+        }
+        if (aux_bytes > 0 && i % 4 == 0) {
+          for (uint32_t gr = 0; gr < g.groups; ++gr) {
+            for (uint32_t w = 0; w < core::kMaxWorkersPerGroup; ++w) {
+              conns[w] = static_cast<int64_t>(rng.next_u64() % 97);
+              pending[w] = static_cast<int64_t>(rng.next_u64() % 23);
+            }
+            core::ScheduleResult sr;
+            sr.bitmap = bitmaps[gr];
+            core::PolicyAuxInputs in;
+            in.loop_enter_ns = conns;  // unused by current policies
+            in.pending_events = pending;
+            in.connections = conns;
+            in.limit = g.workers_per_group;
+            in.base = gr * g.workers_per_group;
+            in.result = &sr;
+            uint64_t words[core::kMaxWorkersPerGroup] = {};
+            policy->fill_aux(in, words);
+            std::memcpy(mirror_aux.data() + gr * stride, words, aux_bytes);
+            ref_world.aux->update(gr, words);
+            for (int t = 0; t < kNumTiers; ++t) {
+              tier_worlds[t].aux->update(gr, words);
+            }
+          }
+        }
+
+        const ReuseportCtx ctx0 = testing::gen_ctx(rng);
+        ReuseportCtx ref_ctx = ctx0;
+        const RefResult ref =
+            ref_run(prog, ref_world.maps, ref_ctx);
+        ASSERT_FALSE(ref.trapped)
+            << policy->name() << ": " << ref.trap << " at pc " << ref.trap_pc;
+
+        // The C++ mirror must agree with the reference interpreter on the
+        // picked worker (and mutate its aux copy identically).
+        const WorkerId want = policy->reference_dispatch(
+            pp, bitmaps.data(), mirror_aux.data(), stride, ctx0.hash,
+            ctx0.hash2);
+        const auto where = [&] {
+          return ::testing::Message()
+                 << policy->name() << " " << g.groups << "x"
+                 << g.workers_per_group << " iteration " << i;
+        };
+        if (want == kInvalidWorker) {
+          ASSERT_TRUE(ref.ret == kRetFallback || !ref_ctx.selection_made)
+              << where();
+        } else {
+          ASSERT_EQ(ref.ret, kRetUseSelection) << where();
+          ASSERT_TRUE(ref_ctx.selection_made) << where();
+          ASSERT_EQ(ref_ctx.selected_socket, 1000 + want) << where();
+        }
+        if (aux_bytes > 0) {
+          ASSERT_EQ(std::memcmp(ref_world.aux->storage_base(),
+                                mirror_aux.data(),
+                                ref_world.aux->storage_bytes()),
+                    0)
+              << where() << " (mirror aux diverged from interpreter)";
+        }
+
+        for (int t = 0; t < kNumTiers; ++t) {
+          ReuseportCtx ctx = ctx0;
+          const Vm::RunResult got = vms[t].run(*loaded[t], ctx);
+          ASSERT_EQ(got.ret, ref.ret) << where() << " tier " << t;
+          ASSERT_EQ(got.insns_executed, ref.insns_executed)
+              << where() << " tier " << t;
+          ASSERT_EQ(ctx.selection_made, ref_ctx.selection_made)
+              << where() << " tier " << t;
+          ASSERT_EQ(ctx.selected_socket, ref_ctx.selected_socket)
+              << where() << " tier " << t;
+          if (aux_bytes > 0) {
+            ASSERT_EQ(std::memcmp(tier_worlds[t].aux->storage_base(),
+                                  ref_world.aux->storage_base(),
+                                  ref_world.aux->storage_bytes()),
+                      0)
+                << where() << " tier " << t << " (aux bytes diverged)";
+          }
+        }
       }
     }
   }
